@@ -1,0 +1,79 @@
+//! Reasoner micro-benchmarks: the semi-naive chase on the two rule shapes
+//! the paper leans on — plain linear recursion (transitive closure, the
+//! skeleton of every compiled `*` pattern) and monotonic-aggregate
+//! recursion (the Example 4.2 control rule).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgm_common::Value;
+use kgm_vadalog::{parse_program, Engine, FactDb};
+use std::hint::black_box;
+
+fn chain_edges(n: usize) -> Vec<Vec<Value>> {
+    (0..n as i64 - 1)
+        .map(|i| vec![Value::Int(i), Value::Int(i + 1)])
+        .collect()
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/transitive_closure");
+    group.sample_size(10);
+    for n in [100usize, 400, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let program = parse_program(
+                "edge(X,Y) -> path(X,Y). path(X,Y), edge(Y,Z) -> path(X,Z).",
+            )
+            .unwrap();
+            let engine = Engine::new(program).unwrap();
+            let edges = chain_edges(n);
+            b.iter(|| {
+                let mut db = FactDb::new();
+                db.add_facts("edge", edges.clone()).unwrap();
+                engine.run(&mut db).unwrap();
+                black_box(db.len("path"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_control_msum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/control_msum");
+    group.sample_size(10);
+    for n in [200usize, 1_000, 4_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let g = kgm_bench::bench_graph(n);
+            b.iter(|| {
+                let (pairs, _) = kgm_finance::control::control_vadalog(&g).unwrap();
+                black_box(pairs.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_existential_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/existentials");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let program = parse_program("b(X) -> c(X, N). c(X, N) -> d(N, X).").unwrap();
+            let engine = Engine::new(program).unwrap();
+            let facts: Vec<Vec<Value>> = (0..n as i64).map(|i| vec![Value::Int(i)]).collect();
+            b.iter(|| {
+                let mut db = FactDb::new();
+                db.add_facts("b", facts.clone()).unwrap();
+                let stats = engine.run(&mut db).unwrap();
+                black_box(stats.nulls_created)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transitive_closure,
+    bench_control_msum,
+    bench_existential_chase
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E7/E8/E10 benchmarks: the control intensional component through the full
+//! Algorithm 2 pipeline vs the direct Vadalog program vs the native
+//! baseline, and the §6 staging ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgm_bench::bench_graph;
+use kgm_core::intensional::{materialize, MaterializationMode};
+use kgm_finance::control::{baseline_control, control_vadalog, CONTROL_METALOG};
+use kgm_finance::schema::simple_ownership_schema;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7/pipeline");
+    group.sample_size(10);
+    let schema = simple_ownership_schema().unwrap();
+    for n in [500usize, 2_000, 5_000] {
+        group.bench_with_input(BenchmarkId::new("algorithm2", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut data = bench_graph(n);
+                let stats = materialize(
+                    &mut data,
+                    &schema,
+                    CONTROL_METALOG,
+                    MaterializationMode::SinglePass,
+                )
+                .unwrap();
+                black_box(stats.new_edges)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8/paths");
+    group.sample_size(10);
+    for n in [2_000usize, 8_000] {
+        let g = bench_graph(n);
+        group.bench_with_input(BenchmarkId::new("baseline", n), &g, |b, g| {
+            b.iter(|| black_box(baseline_control(g).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("vadalog", n), &g, |b, g| {
+            b.iter(|| black_box(control_vadalog(g).unwrap().0.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_staging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10/staging");
+    group.sample_size(10);
+    let schema = simple_ownership_schema().unwrap();
+    for mode in [MaterializationMode::SinglePass, MaterializationMode::Staged] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{mode:?}"), 2_000),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut data = bench_graph(2_000);
+                    let stats =
+                        materialize(&mut data, &schema, CONTROL_METALOG, mode).unwrap();
+                    black_box(stats.new_edges)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_paths, bench_staging);
+criterion_main!(benches);

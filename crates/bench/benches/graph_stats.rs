@@ -1,0 +1,61 @@
+//! E1 benchmarks: generating the synthetic shareholding graph and computing
+//! each §2.1 topology statistic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgm_finance::generator::{generate_shareholding, ShareholdingConfig};
+use kgm_pgstore::algo::{
+    average_clustering_coefficient, strongly_connected_components,
+    weakly_connected_components, EdgeFilter,
+};
+use kgm_pgstore::GraphStats;
+use std::hint::black_box;
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/generate");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let g = generate_shareholding(&ShareholdingConfig::with_nodes(n)).unwrap();
+                black_box(g.edge_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/components");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        let g = generate_shareholding(&ShareholdingConfig::with_nodes(n)).unwrap();
+        group.bench_with_input(BenchmarkId::new("scc", n), &g, |b, g| {
+            b.iter(|| black_box(strongly_connected_components(g, &EdgeFilter::all()).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("wcc", n), &g, |b, g| {
+            b.iter(|| black_box(weakly_connected_components(g, &EdgeFilter::all()).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustering_and_full_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/stats");
+    group.sample_size(10);
+    let g = generate_shareholding(&ShareholdingConfig::with_nodes(20_000)).unwrap();
+    group.bench_function("clustering_20k", |b| {
+        b.iter(|| black_box(average_clustering_coefficient(&g, &EdgeFilter::all())));
+    });
+    group.bench_function("full_table_20k", |b| {
+        b.iter(|| black_box(GraphStats::compute(&g, &EdgeFilter::label("OWNS"))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generator,
+    bench_components,
+    bench_clustering_and_full_stats
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E8 compiler benchmarks: MetaLog parsing and MTV translation (the
+//! Example 4.1 control program and the Example 4.3 star pattern), plus the
+//! DESCFROM end-to-end run over generalization chains of growing depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgm_common::Value;
+use kgm_metalog::{parse_metalog, translate, PgSchema};
+use kgm_vadalog::{Engine, FactDb};
+use std::hint::black_box;
+
+const CONTROL: &str = r#"
+(x: Business) -> (x)[c: CONTROLS](x).
+(x: Business)[: CONTROLS](z: Business)[: OWNS; percentage: w](y: Business),
+    v = msum(w, <z>), v > 0.5 -> (x)[c: CONTROLS](y).
+"#;
+
+const DESCFROM: &str = r#"
+(x: SM_Node) ([: SM_CHILD]- . [: SM_PARENT]-)* (y: SM_Node)
+    -> (x)[w: DESCFROM](y).
+"#;
+
+fn company_catalog() -> PgSchema {
+    let mut s = PgSchema::new();
+    s.declare_node("Business", ["name"])
+        .declare_edge("OWNS", ["percentage"])
+        .declare_edge("CONTROLS", Vec::<String>::new());
+    s
+}
+
+fn dict_catalog() -> PgSchema {
+    let mut s = PgSchema::new();
+    s.declare_node("SM_Node", Vec::<String>::new())
+        .declare_edge("SM_CHILD", Vec::<String>::new())
+        .declare_edge("SM_PARENT", Vec::<String>::new())
+        .declare_edge("DESCFROM", Vec::<String>::new());
+    s
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mtv/compile");
+    group.bench_function("parse_control", |b| {
+        b.iter(|| black_box(parse_metalog(CONTROL).unwrap()));
+    });
+    group.bench_function("translate_control", |b| {
+        let meta = parse_metalog(CONTROL).unwrap();
+        let catalog = company_catalog();
+        b.iter(|| black_box(translate(&meta, &catalog, "kg").unwrap()));
+    });
+    group.bench_function("translate_star_descfrom", |b| {
+        let meta = parse_metalog(DESCFROM).unwrap();
+        let catalog = dict_catalog();
+        b.iter(|| black_box(translate(&meta, &catalog, "dict").unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_descfrom_run(c: &mut Criterion) {
+    // A generalization chain of depth d: node_i SM_PARENT gen_i SM_CHILD
+    // node_{i+1}; DESCFROM closes the ancestry transitively.
+    let mut group = c.benchmark_group("mtv/descfrom_run");
+    group.sample_size(10);
+    for depth in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let meta = parse_metalog(DESCFROM).unwrap();
+            let out = translate(&meta, &dict_catalog(), "dict").unwrap();
+            let engine = Engine::new(out.program).unwrap();
+            let n = |i: i64| Value::Int(i);
+            let mut nodes = Vec::new();
+            let mut parents = Vec::new();
+            let mut children = Vec::new();
+            for i in 0..depth as i64 {
+                nodes.push(vec![n(i)]);
+                if i > 0 {
+                    let gen = 1_000 + i;
+                    parents.push(vec![n(10_000 + i), n(i - 1), n(gen)]);
+                    children.push(vec![n(20_000 + i), n(gen), n(i)]);
+                }
+            }
+            b.iter(|| {
+                let mut db = FactDb::new();
+                db.add_facts("SM_Node", nodes.clone()).unwrap();
+                db.add_facts("SM_PARENT", parents.clone()).unwrap();
+                db.add_facts("SM_CHILD", children.clone()).unwrap();
+                engine.run(&mut db).unwrap();
+                black_box(db.len("DESCFROM"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_descfrom_run);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E4/E5/E9 benchmarks: SSST translation of the Company KG into both target
+//! models, every implementation strategy, and the MetaLog-driven path of
+//! Examples 5.1/5.2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgm_core::sst::{
+    translate_to_pg, translate_to_relational, PgGeneralizationStrategy,
+    RelGeneralizationStrategy,
+};
+use kgm_core::sst_metalog::translate_to_pg_via_metalog;
+use kgm_finance::schema::company_kg_schema;
+use std::hint::black_box;
+
+fn bench_native(c: &mut Criterion) {
+    let schema = company_kg_schema().unwrap();
+    let mut group = c.benchmark_group("e4_e5/native");
+    group.bench_function("pg_multilabel", |b| {
+        b.iter(|| {
+            black_box(
+                translate_to_pg(&schema, PgGeneralizationStrategy::MultiLabel).unwrap(),
+            )
+        });
+    });
+    group.bench_function("pg_parent_edge", |b| {
+        b.iter(|| {
+            black_box(
+                translate_to_pg(&schema, PgGeneralizationStrategy::ParentEdge).unwrap(),
+            )
+        });
+    });
+    group.bench_function("rel_fk_per_child", |b| {
+        b.iter(|| {
+            black_box(
+                translate_to_relational(&schema, RelGeneralizationStrategy::ForeignKeyPerChild)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("rel_single_table", |b| {
+        b.iter(|| {
+            black_box(
+                translate_to_relational(&schema, RelGeneralizationStrategy::SingleTable)
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_metalog_path(c: &mut Criterion) {
+    let schema = company_kg_schema().unwrap();
+    let mut group = c.benchmark_group("e9/metalog_path");
+    group.sample_size(10);
+    group.bench_function("pg_via_examples_5_1_5_2", |b| {
+        b.iter(|| black_box(translate_to_pg_via_metalog(&schema).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_native, bench_metalog_path);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! `paper-harness` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! paper-harness all            # every experiment at default scales
+//! paper-harness e1 [nodes]     # §2.1 topology statistics
+//! paper-harness e2             # Figures 2–3 (DOT + Γ_SM table)
+//! paper-harness e3             # Figure 4 (DOT)
+//! paper-harness e4             # Figure 6 (PG translation)
+//! paper-harness e5             # Figure 8 (relational translation + DDL)
+//! paper-harness e6 [nodes]     # Figure 9 (instance constructs)
+//! paper-harness e7 [n1,n2,..]  # §6 control pipeline sweep
+//! paper-harness e8 [nodes]     # MTV overhead comparison
+//! paper-harness e9             # §5.1 strategy ablation
+//! paper-harness e10 [nodes]    # §6 staging ablation
+//! ```
+//!
+//! Artefact files (DOT diagrams, DDL, RDF-S) are written under
+//! `target/paper-artifacts/`.
+
+use kgm_bench::*;
+use kgm_core::intensional::MaterializationMode;
+use std::fs;
+use std::path::PathBuf;
+
+fn artifacts_dir() -> PathBuf {
+    let dir = PathBuf::from("target/paper-artifacts");
+    fs::create_dir_all(&dir).expect("create artifacts dir");
+    dir
+}
+
+fn save(name: &str, content: &str) {
+    let path = artifacts_dir().join(name);
+    fs::write(&path, content).expect("write artifact");
+    println!("  [artifact] {}", path.display());
+}
+
+fn run_e1(nodes: usize) {
+    let r = e1_graph_stats(nodes).expect("e1");
+    println!("{}", r.report);
+    save("e1_degree_distribution.txt", &r.degree_distribution);
+}
+
+fn run_e2() {
+    let (mm, sm, table) = e2_meta_and_super_model().expect("e2");
+    println!("E2 — Figures 2–3 regenerated.");
+    println!("{table}");
+    save("figure2_meta_model.dot", &mm);
+    save("figure3_super_model.dot", &sm);
+    save("figure3_gamma_sm.txt", &table);
+}
+
+fn run_e3() {
+    let (_, dot) = e3_company_kg_diagram().expect("e3");
+    println!("E3 — Figure 4 (Company KG GSL diagram) regenerated.");
+    save("figure4_company_kg.dot", &dot);
+}
+
+fn run_e4() {
+    let (_, report) = e4_pg_translation().expect("e4");
+    println!("{report}");
+    save("figure6_pg_schema.txt", &report);
+}
+
+fn run_e5() {
+    let (rel, report) = e5_relational_translation().expect("e5");
+    println!(
+        "E5 — Figure 8: {} tables, {} foreign keys (full DDL in artifact)",
+        rel.tables.len(),
+        rel.foreign_keys.len()
+    );
+    save("figure8_relational.sql", &report);
+}
+
+fn run_e6(nodes: usize) {
+    let report = e6_instance_constructs(nodes).expect("e6");
+    println!("{report}");
+}
+
+fn run_e7(sizes: &[usize]) {
+    let rows: Vec<E7Row> = sizes
+        .iter()
+        .map(|&n| e7_control_pipeline(n, MaterializationMode::SinglePass).expect("e7"))
+        .collect();
+    let report = e7_report(&rows);
+    println!("{report}");
+    save("e7_control_pipeline.txt", &report);
+}
+
+fn run_e8(nodes: usize) {
+    let r = e8_mtv_overhead(nodes).expect("e8");
+    println!("{}", r.report);
+}
+
+fn run_e9() {
+    let report = e9_strategies().expect("e9");
+    println!("{report}");
+}
+
+fn run_e10(nodes: usize) {
+    let report = e10_staging(nodes).expect("e10");
+    println!("{report}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let num = |i: usize, default: usize| -> usize {
+        args.get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    match cmd {
+        "e1" => run_e1(num(1, 100_000)),
+        "e2" => run_e2(),
+        "e3" => run_e3(),
+        "e4" => run_e4(),
+        "e5" => run_e5(),
+        "e6" => run_e6(num(1, 2_000)),
+        "e7" => {
+            let sizes: Vec<usize> = args
+                .get(1)
+                .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
+                .unwrap_or_else(|| vec![1_000, 2_000, 5_000, 10_000]);
+            run_e7(&sizes)
+        }
+        "e8" => run_e8(num(1, 2_000)),
+        "e9" => run_e9(),
+        "e10" => run_e10(num(1, 1_000)),
+        "all" => {
+            run_e1(50_000);
+            println!();
+            run_e2();
+            println!();
+            run_e3();
+            println!();
+            run_e4();
+            println!();
+            run_e5();
+            println!();
+            run_e6(2_000);
+            println!();
+            run_e7(&[500, 1_000, 2_000, 5_000]);
+            println!();
+            run_e8(2_000);
+            println!();
+            run_e9();
+            println!();
+            run_e10(1_000);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; use e1..e10 or all");
+            std::process::exit(2);
+        }
+    }
+}

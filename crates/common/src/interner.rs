@@ -1,0 +1,145 @@
+//! A thread-safe string interner.
+//!
+//! Labels, property names and predicate names are repeated millions of times
+//! across dictionary graphs, schemas and fact stores. Interning them to a
+//! 32-bit [`Symbol`] makes comparisons and hashing O(1) and shrinks
+//! oft-instantiated types (see the type-size guidance of the Rust perf book).
+
+use crate::hash::FxHashMap;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned string handle. Cheap to copy, hash and compare.
+///
+/// A `Symbol` is only meaningful together with the [`Interner`] that issued
+/// it; KGModel uses one process-global interner per engine instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index of this symbol in its interner.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+#[derive(Default)]
+struct InternerInner {
+    map: FxHashMap<Arc<str>, Symbol>,
+    strings: Vec<Arc<str>>,
+}
+
+/// A thread-safe append-only string interner.
+#[derive(Default)]
+pub struct Interner {
+    inner: RwLock<InternerInner>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `s`, returning its stable [`Symbol`].
+    pub fn intern(&self, s: &str) -> Symbol {
+        if let Some(&sym) = self.inner.read().map.get(s) {
+            return sym;
+        }
+        let mut inner = self.inner.write();
+        // Re-check under the write lock: another thread may have won the race.
+        if let Some(&sym) = inner.map.get(s) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let sym = Symbol(u32::try_from(inner.strings.len()).expect("interner overflow"));
+        inner.strings.push(arc.clone());
+        inner.map.insert(arc, sym);
+        sym
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was issued by a different interner and is out of range.
+    pub fn resolve(&self, sym: Symbol) -> Arc<str> {
+        self.inner.read().strings[sym.0 as usize].clone()
+    }
+
+    /// Look up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.inner.read().map.get(s).copied()
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("SM_Node");
+        let b = i.intern("SM_Node");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let i = Interner::new();
+        assert_ne!(i.intern("SM_Node"), i.intern("SM_Edge"));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let i = Interner::new();
+        let s = i.intern("percentage");
+        assert_eq!(&*i.resolve(s), "percentage");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let i = Interner::new();
+        assert!(i.get("missing").is_none());
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let i = std::sync::Arc::new(Interner::new());
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let i = i.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100)
+                    .map(|k| i.intern(&format!("label{}", k % 10)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(i.len(), 10);
+        // All threads must agree on every symbol.
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}

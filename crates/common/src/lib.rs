@@ -1,0 +1,27 @@
+//! # kgm-common
+//!
+//! Shared foundations for the KGModel workspace: object identifiers, typed
+//! values, deterministic (linker) Skolem functors, a fast non-cryptographic
+//! hasher, and a string interner.
+//!
+//! Every construct in the KGModel representation stack — meta-constructs,
+//! super-constructs, model constructs, and their instances — is identified by
+//! a unique internal Object Identifier ([`Oid`]), exactly as prescribed in
+//! Section 3.1 of the paper. Derived objects produced by reasoning carry
+//! either fresh *labelled nulls* or values minted by *linker Skolem functors*
+//! (Section 4), both of which live in identifier spaces disjoint from ground
+//! OIDs.
+
+pub mod error;
+pub mod hash;
+pub mod interner;
+pub mod oid;
+pub mod skolem;
+pub mod value;
+
+pub use error::{KgmError, Result};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use interner::{Interner, Symbol};
+pub use oid::{Oid, OidGen, OidSpace};
+pub use skolem::{SkolemFunctor, SkolemRegistry};
+pub use value::{Value, ValueType};

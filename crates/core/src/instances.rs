@@ -1,0 +1,403 @@
+//! Instance-level super-constructs (Figure 9) and instance loading.
+//!
+//! Section 6 extends the super-model dictionary with an `I_C` instance
+//! counterpart for every super-construct `C`, connected to it by
+//! `SM_REFERENCES` edges. Loading a database instance `D` into these
+//! *super-components* is the quasi-inverse step of Algorithm 2 (line 4):
+//! since information loss can only happen in the *elimination* phase of a
+//! mapping, the *copy* phase is invertible by construction, and
+//! `(V(M).copy)⁻¹` reads the data back into the super-model.
+//!
+//! For the PG model the copy phase is label/attribute renaming, so the
+//! quasi-inverse resolves each data node to its most specific `SM_Node`
+//! (the label with the longest ancestor chain among the node's labels) and
+//! attaches one `I_SM_Attribute` per schema-known property.
+
+use crate::dictionary::Dictionary;
+use crate::supermodel::SuperSchema;
+use kgm_common::{FxHashMap, KgmError, Oid, Result, Value};
+use kgm_pgstore::{Direction, NodeId, PropertyGraph};
+
+fn props(pairs: &[(&str, Value)]) -> Vec<(String, Value)> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+/// Statistics of one instance load.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// `I_SM_Node`s created.
+    pub nodes: usize,
+    /// `I_SM_Edge`s created.
+    pub edges: usize,
+    /// `I_SM_Attribute`s created.
+    pub attributes: usize,
+    /// Data nodes skipped because no schema label matched.
+    pub skipped_nodes: usize,
+    /// Data edges skipped because no schema edge type matched.
+    pub skipped_edges: usize,
+}
+
+/// The correspondence between a loaded instance and the source data graph.
+#[derive(Debug, Default)]
+pub struct InstanceMap {
+    /// Data node → `I_SM_Node` dictionary node.
+    pub node_to_instance: FxHashMap<NodeId, NodeId>,
+    /// `I_SM_Node` dictionary OID → data node.
+    pub instance_to_node: FxHashMap<Oid, NodeId>,
+}
+
+/// Load a data graph (an instance of the PG schema generated from
+/// `schema`) into instance-level constructs inside `dict`.
+pub fn load_instance(
+    dict: &mut Dictionary,
+    schema: &SuperSchema,
+    schema_oid: i64,
+    instance_oid: i64,
+    data: &PropertyGraph,
+) -> Result<(LoadStats, InstanceMap)> {
+    let mut stats = LoadStats::default();
+    let mut map = InstanceMap::default();
+    let iv = Value::Int(instance_oid);
+
+    // Most specific schema label per data node.
+    let specificity = |label: &str| schema.ancestors(label).len();
+    for n in data.nodes() {
+        let labels = data.node_labels(n);
+        let best = labels
+            .iter()
+            .filter(|l| schema.node(l).is_some())
+            .max_by_key(|l| specificity(l));
+        let Some(best) = best else {
+            stats.skipped_nodes += 1;
+            continue;
+        };
+        let sm_node = dict
+            .sm_node_by_name(best, schema_oid)
+            .ok_or_else(|| KgmError::NotFound(format!("SM_Node `{best}` in dictionary")))?;
+        let inode = dict.graph.add_node(
+            ["I_SM_Node"],
+            props(&[
+                ("instanceOID", iv.clone()),
+                ("srcOID", Value::Oid(data.node_oid(n))),
+            ]),
+        )?;
+        dict.graph
+            .add_edge(inode, sm_node, "SM_REFERENCES", props(&[]))?;
+        stats.nodes += 1;
+        map.node_to_instance.insert(n, inode);
+        map.instance_to_node.insert(dict.graph.node_oid(inode), n);
+
+        // Attributes: every schema-known property of the node.
+        let attr_nodes = dict.attributes_of(sm_node, "SM_HAS_NODE_ATTR");
+        let mut schema_attrs: Vec<(String, NodeId)> = attr_nodes
+            .into_iter()
+            .filter_map(|a| {
+                dict.graph
+                    .node_prop(a, "name")
+                    .map(|v| (v.to_string(), a))
+            })
+            .collect();
+        // Inherited attributes live on ancestor SM_Nodes.
+        for anc in schema.ancestors(best) {
+            if let Some(anc_node) = dict.sm_node_by_name(anc, schema_oid) {
+                for a in dict.attributes_of(anc_node, "SM_HAS_NODE_ATTR") {
+                    if let Some(v) = dict.graph.node_prop(a, "name") {
+                        schema_attrs.push((v.to_string(), a));
+                    }
+                }
+            }
+        }
+        for (name, attr_dict_node) in schema_attrs {
+            if let Some(value) = data.node_prop(n, &name) {
+                let ia = dict.graph.add_node(
+                    ["I_SM_Attribute"],
+                    props(&[("instanceOID", iv.clone()), ("value", value.clone())]),
+                )?;
+                dict.graph
+                    .add_edge(inode, ia, "I_SM_HAS_NODE_ATTR", props(&[]))?;
+                dict.graph
+                    .add_edge(ia, attr_dict_node, "SM_REFERENCES", props(&[]))?;
+                stats.attributes += 1;
+            }
+        }
+    }
+
+    for e in data.edges() {
+        let label = data.edge_label(e);
+        let Some(sm_edge) = dict.sm_edge_by_name(&label, schema_oid) else {
+            stats.skipped_edges += 1;
+            continue;
+        };
+        let (f, t) = data.edge_endpoints(e);
+        let (Some(&fi), Some(&ti)) = (
+            map.node_to_instance.get(&f),
+            map.node_to_instance.get(&t),
+        ) else {
+            stats.skipped_edges += 1;
+            continue;
+        };
+        let iedge = dict.graph.add_node(
+            ["I_SM_Edge"],
+            props(&[
+                ("instanceOID", iv.clone()),
+                ("srcOID", Value::Oid(data.edge_oid(e))),
+            ]),
+        )?;
+        dict.graph
+            .add_edge(iedge, sm_edge, "SM_REFERENCES", props(&[]))?;
+        dict.graph.add_edge(iedge, fi, "I_SM_FROM", props(&[]))?;
+        dict.graph.add_edge(iedge, ti, "I_SM_TO", props(&[]))?;
+        stats.edges += 1;
+        for a in dict.attributes_of(sm_edge, "SM_HAS_EDGE_ATTR") {
+            let Some(name) = dict.graph.node_prop(a, "name").map(|v| v.to_string()) else {
+                continue;
+            };
+            if let Some(value) = data.edge_prop(e, &name) {
+                let ia = dict.graph.add_node(
+                    ["I_SM_Attribute"],
+                    props(&[("instanceOID", iv.clone()), ("value", value.clone())]),
+                )?;
+                dict.graph
+                    .add_edge(iedge, ia, "I_SM_HAS_EDGE_ATTR", props(&[]))?;
+                dict.graph.add_edge(ia, a, "SM_REFERENCES", props(&[]))?;
+                stats.attributes += 1;
+            }
+        }
+    }
+    Ok((stats, map))
+}
+
+/// Flush the instance constructs of `instance_oid` back into a fresh data
+/// graph (the inverse of [`load_instance`]; applying load ∘ flush is the
+/// quasi-inverse round trip of Section 6).
+pub fn flush_instance(
+    dict: &Dictionary,
+    schema: &SuperSchema,
+    instance_oid: i64,
+) -> Result<PropertyGraph> {
+    let g = &dict.graph;
+    let iv = Value::Int(instance_oid);
+    let mut out = PropertyGraph::new();
+    let mut inode_to_out: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+
+    let referenced_construct = |i: NodeId| -> Option<NodeId> {
+        g.incident_edges(i, Direction::Outgoing)
+            .into_iter()
+            .filter(|&e| g.edge_label(e) == "SM_REFERENCES")
+            .map(|e| g.edge_endpoints(e).1)
+            .next()
+    };
+
+    for i in g.nodes_with_label("I_SM_Node") {
+        if g.node_prop(i, "instanceOID") != Some(&iv) {
+            continue;
+        }
+        let sm = referenced_construct(i)
+            .ok_or_else(|| KgmError::Schema("I_SM_Node without SM_REFERENCES".into()))?;
+        let tyname = dict
+            .type_name(sm, "SM_HAS_NODE_TYPE")
+            .ok_or_else(|| KgmError::Schema("SM_Node without type".into()))?;
+        // Multi-label strategy on flush: own type + ancestors.
+        let mut labels = vec![tyname.clone()];
+        labels.extend(schema.ancestors(&tyname).iter().map(|s| s.to_string()));
+        // Collect attribute values.
+        let mut node_props: Vec<(String, Value)> = Vec::new();
+        for e in g.incident_edges(i, Direction::Outgoing) {
+            if g.edge_label(e) != "I_SM_HAS_NODE_ATTR" {
+                continue;
+            }
+            let ia = g.edge_endpoints(e).1;
+            let Some(attr) = referenced_construct(ia) else {
+                continue;
+            };
+            let (Some(name), Some(value)) =
+                (g.node_prop(attr, "name"), g.node_prop(ia, "value"))
+            else {
+                continue;
+            };
+            node_props.push((name.to_string(), value.clone()));
+        }
+        let new = out.add_node(labels, node_props)?;
+        inode_to_out.insert(i, new);
+    }
+
+    for ie in g.nodes_with_label("I_SM_Edge") {
+        if g.node_prop(ie, "instanceOID") != Some(&iv) {
+            continue;
+        }
+        let sm = referenced_construct(ie)
+            .ok_or_else(|| KgmError::Schema("I_SM_Edge without SM_REFERENCES".into()))?;
+        let tyname = dict
+            .type_name(sm, "SM_HAS_EDGE_TYPE")
+            .ok_or_else(|| KgmError::Schema("SM_Edge without type".into()))?;
+        let endpoint = |label: &str| -> Result<NodeId> {
+            g.incident_edges(ie, Direction::Outgoing)
+                .into_iter()
+                .filter(|&e| g.edge_label(e) == label)
+                .map(|e| g.edge_endpoints(e).1)
+                .next()
+                .and_then(|n| inode_to_out.get(&n).copied())
+                .ok_or_else(|| KgmError::Schema(format!("I_SM_Edge without {label}")))
+        };
+        let mut edge_props: Vec<(String, Value)> = Vec::new();
+        for e in g.incident_edges(ie, Direction::Outgoing) {
+            if g.edge_label(e) != "I_SM_HAS_EDGE_ATTR" {
+                continue;
+            }
+            let ia = g.edge_endpoints(e).1;
+            let Some(attr) = referenced_construct(ia) else {
+                continue;
+            };
+            let (Some(name), Some(value)) =
+                (g.node_prop(attr, "name"), g.node_prop(ia, "value"))
+            else {
+                continue;
+            };
+            edge_props.push((name.to_string(), value.clone()));
+        }
+        out.add_edge(endpoint("I_SM_FROM")?, endpoint("I_SM_TO")?, &tyname, edge_props)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsl::parse_gsl;
+
+    fn schema() -> SuperSchema {
+        parse_gsl(
+            r#"
+            schema S {
+              node Person { id fiscalCode: string; name: string; }
+              node PhysicalPerson { gender: string; }
+              generalization Person -> PhysicalPerson;
+              node Share { id shareId: string; percentage: float; }
+              edge HOLDS: Person -> Share { right: string; }
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn data() -> PropertyGraph {
+        let mut d = PropertyGraph::new();
+        let p = d
+            .add_node(
+                ["PhysicalPerson", "Person"],
+                vec![
+                    ("fiscalCode".to_string(), Value::str("AAA")),
+                    ("name".to_string(), Value::str("Ada")),
+                    ("gender".to_string(), Value::str("female")),
+                ],
+            )
+            .unwrap();
+        let s = d
+            .add_node(
+                ["Share"],
+                vec![
+                    ("shareId".to_string(), Value::str("S1")),
+                    ("percentage".to_string(), Value::Float(1.0)),
+                ],
+            )
+            .unwrap();
+        d.add_edge(p, s, "HOLDS", vec![("right".to_string(), Value::str("ownership"))])
+            .unwrap();
+        d
+    }
+
+    fn loaded() -> (Dictionary, SuperSchema) {
+        let schema = schema();
+        let mut dict = Dictionary::new();
+        dict.encode(&schema, 1).unwrap();
+        let (stats, _) = load_instance(&mut dict, &schema, 1, 100, &data()).unwrap();
+        assert_eq!(stats.nodes, 2);
+        assert_eq!(stats.edges, 1);
+        // fiscalCode, name, gender, shareId, percentage, right = 6.
+        assert_eq!(stats.attributes, 6);
+        assert_eq!(stats.skipped_nodes, 0);
+        (dict, schema)
+    }
+
+    #[test]
+    fn load_creates_instance_constructs() {
+        let (dict, _) = loaded();
+        assert_eq!(dict.graph.nodes_with_label("I_SM_Node").len(), 2);
+        assert_eq!(dict.graph.nodes_with_label("I_SM_Edge").len(), 1);
+        assert_eq!(dict.graph.nodes_with_label("I_SM_Attribute").len(), 6);
+    }
+
+    #[test]
+    fn most_specific_label_wins() {
+        let (dict, _) = loaded();
+        // The person instance must reference PhysicalPerson, not Person.
+        let inode = dict.graph.nodes_with_label("I_SM_Node")[0];
+        let sm = dict
+            .graph
+            .incident_edges(inode, Direction::Outgoing)
+            .into_iter()
+            .filter(|&e| dict.graph.edge_label(e) == "SM_REFERENCES")
+            .map(|e| dict.graph.edge_endpoints(e).1)
+            .next()
+            .unwrap();
+        assert_eq!(
+            dict.type_name(sm, "SM_HAS_NODE_TYPE").as_deref(),
+            Some("PhysicalPerson")
+        );
+    }
+
+    #[test]
+    fn flush_round_trips_the_instance() {
+        let (dict, schema) = loaded();
+        let out = flush_instance(&dict, &schema, 100).unwrap();
+        assert_eq!(out.node_count(), 2);
+        assert_eq!(out.edge_count(), 1);
+        let people = out.nodes_with_label("PhysicalPerson");
+        assert_eq!(people.len(), 1);
+        assert!(out.node_has_label(people[0], "Person"), "ancestor labels restored");
+        assert_eq!(
+            out.node_prop(people[0], "gender"),
+            Some(&Value::str("female"))
+        );
+        assert_eq!(
+            out.node_prop(people[0], "fiscalCode"),
+            Some(&Value::str("AAA"))
+        );
+        let holds = out.edges_with_label("HOLDS");
+        assert_eq!(holds.len(), 1);
+        assert_eq!(
+            out.edge_prop(holds[0], "right"),
+            Some(&Value::str("ownership"))
+        );
+    }
+
+    #[test]
+    fn unknown_labels_are_counted_not_fatal() {
+        let schema = schema();
+        let mut dict = Dictionary::new();
+        dict.encode(&schema, 1).unwrap();
+        let mut d = data();
+        d.add_node(["Mystery"], vec![]).unwrap();
+        let (stats, _) = load_instance(&mut dict, &schema, 1, 100, &d).unwrap();
+        assert_eq!(stats.skipped_nodes, 1);
+        assert_eq!(stats.nodes, 2);
+    }
+
+    #[test]
+    fn instances_are_separated_by_instance_oid() {
+        let schema = schema();
+        let mut dict = Dictionary::new();
+        dict.encode(&schema, 1).unwrap();
+        load_instance(&mut dict, &schema, 1, 100, &data()).unwrap();
+        load_instance(&mut dict, &schema, 1, 200, &data()).unwrap();
+        let a = flush_instance(&dict, &schema, 100).unwrap();
+        let b = flush_instance(&dict, &schema, 200).unwrap();
+        assert_eq!(a.node_count(), 2);
+        assert_eq!(b.node_count(), 2);
+        let all = flush_instance(&dict, &schema, 999).unwrap();
+        assert_eq!(all.node_count(), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! The model level (Section 5): concrete KG models represented in KGModel.
+//!
+//! A model is *"represented in KGModel by specializing and renaming a subset
+//! of the super-constructs"*. Three models ship with the framework, matching
+//! the paper's Figures 5 and 7 plus the RDF rendering of Section 5:
+//!
+//! - [`pg`] — the property-graph model: multi-labelled `Node`s,
+//!   `Relationship`s, `Property`s and `UniquePropertyModifier`s (Figure 5);
+//! - [`relational`] — the relational model: `Relation`s, `Field`s,
+//!   `Predicate`s and `ForeignKey`s (Figure 7);
+//! - [`rdf`] — the RDF-S vocabulary model used when the target is a triple
+//!   store.
+//!
+//! - [`csvmodel`] — CSV deployment: manifest + node/edge documents
+//!   (Section 2.2 lists plain CSV files among the serialization models).
+
+pub mod csvmodel;
+pub mod pg;
+pub mod rdf;
+pub mod relational;
+
+pub use pg::{PgModelSchema, PgNodeType, PgProperty, PgRelationship};
+pub use relational::RelationalSchema;

@@ -1,0 +1,76 @@
+//! The RDF model: rendering a super-schema as an RDF-S vocabulary.
+//!
+//! Section 5 of the paper: *"for RDF stores, schemas can be rendered as
+//! RDF-S (RDF Schema) documents, to be validated by dedicated tools"*. The
+//! RDF model is the one target where generalizations need **no**
+//! elimination: `SM_Generalization` maps directly onto `rdfs:subClassOf`.
+
+use crate::supermodel::SuperSchema;
+use kgm_triplestore::{RdfsProperty, RdfsVocabulary};
+
+/// Translate a super-schema to an RDF-S vocabulary under `base`.
+pub fn to_rdfs(schema: &SuperSchema, base: &str) -> RdfsVocabulary {
+    let mut v = RdfsVocabulary::new(base);
+    for n in &schema.nodes {
+        v.classes.push(n.name.clone());
+        for a in &n.attributes {
+            v.properties.push(RdfsProperty {
+                name: format!("{}_{}", n.name, a.name),
+                domain: n.name.clone(),
+                range: Ok(a.ty),
+            });
+        }
+    }
+    for g in &schema.generalizations {
+        for c in &g.children {
+            v.subclasses.push((c.clone(), g.parent.clone()));
+        }
+    }
+    for e in &schema.edges {
+        v.properties.push(RdfsProperty {
+            name: e.name.clone(),
+            domain: e.from.clone(),
+            range: Err(e.to.clone()),
+        });
+        for a in &e.attributes {
+            v.properties.push(RdfsProperty {
+                name: format!("{}_{}", e.name, a.name),
+                domain: e.name.clone(),
+                range: Ok(a.ty),
+            });
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsl::parse_gsl;
+
+    #[test]
+    fn rdfs_covers_classes_subclasses_and_properties() {
+        let s = parse_gsl(
+            r#"
+            schema S {
+              node Person { id fiscalCode: string; }
+              node PhysicalPerson { gender: string; }
+              generalization total disjoint Person -> PhysicalPerson;
+              edge KNOWS: Person -> Person { since: date; }
+            }
+            "#,
+        )
+        .unwrap();
+        let v = to_rdfs(&s, "http://example.org/kg#");
+        assert!(v.classes.contains(&"Person".to_string()));
+        assert_eq!(
+            v.subclasses,
+            vec![("PhysicalPerson".to_string(), "Person".to_string())]
+        );
+        let doc = v.to_document();
+        assert!(doc.contains("subClassOf"));
+        assert!(doc.contains("Person_fiscalCode"));
+        assert!(doc.contains("KNOWS"));
+        assert!(doc.contains("KNOWS_since"));
+    }
+}

@@ -1,0 +1,101 @@
+//! The relational model (Figure 7): `Relation`s, `Field`s and
+//! `ForeignKey`s — a thin wrapper coupling `kgm-relstore` schema objects
+//! into one deployable unit.
+
+use kgm_common::Result;
+use kgm_relstore::{Catalog, ForeignKey, TableSchema};
+
+/// A complete relational schema — the output of the §5.3 translation
+/// (Figure 8).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RelationalSchema {
+    /// Tables, sorted by name after [`Self::normalize`].
+    pub tables: Vec<TableSchema>,
+    /// Foreign keys, sorted by constraint name.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl RelationalSchema {
+    /// Normalize ordering for comparisons across translation paths.
+    pub fn normalize(&mut self) {
+        self.tables.sort_by(|a, b| a.name.cmp(&b.name));
+        self.foreign_keys.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Materialize the schema into a fresh catalog (CREATE everything).
+    pub fn create_catalog(&self) -> Result<Catalog> {
+        let mut c = Catalog::new();
+        for t in &self.tables {
+            c.create_table(t.clone())?;
+        }
+        for fk in &self.foreign_keys {
+            c.add_foreign_key(fk.clone())?;
+        }
+        Ok(c)
+    }
+
+    /// Render the deployable DDL script.
+    pub fn ddl(&self) -> Result<String> {
+        Ok(kgm_relstore::ddl::catalog_sql(&self.create_catalog()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgm_common::ValueType;
+    use kgm_relstore::Column;
+
+    fn schema() -> RelationalSchema {
+        RelationalSchema {
+            tables: vec![
+                TableSchema::new(
+                    "person",
+                    vec![Column::new("fiscal_code", ValueType::Str).not_null()],
+                )
+                .with_pk(["fiscal_code"]),
+                TableSchema::new(
+                    "share",
+                    vec![
+                        Column::new("id", ValueType::Int).not_null(),
+                        Column::new("holder", ValueType::Str),
+                    ],
+                )
+                .with_pk(["id"]),
+            ],
+            foreign_keys: vec![ForeignKey {
+                name: "fk_share_person".into(),
+                table: "share".into(),
+                columns: vec!["holder".into()],
+                ref_table: "person".into(),
+                ref_columns: vec!["fiscal_code".into()],
+            }],
+        }
+    }
+
+    #[test]
+    fn create_catalog_builds_everything() {
+        let c = schema().create_catalog().unwrap();
+        assert_eq!(c.table_names(), vec!["person", "share"]);
+        assert_eq!(c.foreign_keys().len(), 1);
+    }
+
+    #[test]
+    fn ddl_renders_tables_and_fks() {
+        let sql = schema().ddl().unwrap();
+        assert!(sql.contains("CREATE TABLE \"person\""));
+        assert!(sql.contains("FOREIGN KEY (\"holder\")"));
+    }
+
+    #[test]
+    fn bad_fk_fails_catalog_creation() {
+        let mut s = schema();
+        s.foreign_keys[0].ref_table = "missing".into();
+        assert!(s.create_catalog().is_err());
+    }
+}

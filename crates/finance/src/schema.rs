@@ -1,0 +1,220 @@
+//! The Company KG super-schema — Figure 4 of the paper as a GSL program.
+//!
+//! The §3.3 design walkthrough, transcribed construct by construct: the
+//! Person hierarchy (total disjoint PhysicalPerson/LegalPerson, then
+//! Business/NonBusiness under LegalPerson and PublicListedCompany under
+//! Business), Share/StockShare, Place, BusinessEvent, and the extensional
+//! (HOLDS, BELONGS_TO, RESIDES, HAS_ROLE, REPRESENTS, PARTICIPATES) and
+//! intensional (OWNS, CONTROLS, IS_RELATED_TO, BELONGS_TO_FAMILY,
+//! FAMILY_OWNS, numberOfStakeholders) components.
+
+use kgm_common::Result;
+use kgm_core::{parse_gsl, SuperSchema};
+
+/// The Figure 4 GSL source.
+pub fn company_kg_gsl() -> &'static str {
+    r#"
+schema CompanyKG {
+  % «distinct SM_Nodes for persons … identified by a unique fiscalCode»
+  node Person {
+    id fiscalCode: string unique;
+    name: string;
+  }
+  node PhysicalPerson {
+    gender: string enum("male", "female");
+    opt birthDate: date;
+  }
+  node LegalPerson {
+    businessName: string;
+    legalNature: string;
+    opt website: string;
+  }
+  generalization total disjoint Person -> PhysicalPerson, LegalPerson;
+
+  % «a Business SM_Node, gathering shareholding capital features, and a
+  %  NonBusiness SM_Node, with specific isGovernmental SM_Attribute»
+  node Business {
+    shareholdingCapital: float;
+    intensional numberOfStakeholders: int;
+  }
+  node NonBusiness {
+    isGovernmental: bool;
+  }
+  generalization total disjoint LegalPerson -> Business, NonBusiness;
+
+  % «one more specialization of Business … PublicListedCompany»
+  node PublicListedCompany {
+    stockExchange: string;
+    opt ticker: string;
+  }
+  generalization Business -> PublicListedCompany;
+
+  % «the address is an autonomous business entity» — Place
+  node Place {
+    id placeId: string;
+    street: string;
+    city: string;
+    opt postalCode: string;
+  }
+
+  % «a Share SM_Node … so that multiple Persons can HOLD a Share»
+  node Share {
+    id shareId: string;
+    percentage: float;
+  }
+  node StockShare {
+    numberOfStocks: int;
+  }
+  generalization Share -> StockShare;
+
+  % «company events like merger & acquisitions or splits»
+  node BusinessEvent {
+    id eventId: string;
+    type: string;
+    date: date;
+  }
+
+  % intensional virtual concepts
+  intensional node Family;
+
+  % extensional relationships (topmost nodes involved, §3.3)
+  edge HOLDS: Person [0..N] -> [1..N] Share {
+    right: string;
+  }
+  edge BELONGS_TO: Share [1..N] -> [1..1] Business;
+  edge RESIDES: Person [0..N] -> [0..1] Place;
+  edge HAS_ROLE: Person [0..N] -> [0..N] LegalPerson {
+    role: string;
+  }
+  edge REPRESENTS: PhysicalPerson [0..N] -> [0..N] LegalPerson;
+  edge PARTICIPATES: Business [0..N] -> [0..N] BusinessEvent {
+    role: string;
+  }
+
+  % intensional relationships (dashed in Figure 4)
+  intensional edge OWNS: Person -> Business {
+    percentage: float;
+  }
+  intensional edge CONTROLS: Person -> Business;
+  intensional edge IS_RELATED_TO: PhysicalPerson -> PhysicalPerson;
+  intensional edge BELONGS_TO_FAMILY: PhysicalPerson -> Family;
+  intensional edge FAMILY_OWNS: Family -> Business;
+}
+"#
+}
+
+/// Parse the Figure 4 super-schema.
+pub fn company_kg_schema() -> Result<SuperSchema> {
+    parse_gsl(company_kg_gsl())
+}
+
+/// The simplified shareholding view of Section 2.1 — «nodes are
+/// shareholders and edges denote owned shares» — used by the topology
+/// statistics (E1) and the control pipeline benchmarks (E7): Person and
+/// Business entities plus the weighted OWNS edge and the derived CONTROLS.
+pub fn simple_ownership_schema() -> Result<SuperSchema> {
+    parse_gsl(
+        r#"
+schema Shareholding {
+  node Person { id pid: string; }
+  node Business { }
+  generalization Person -> Business;
+  edge OWNS: Person [0..N] -> [0..N] Business {
+    percentage: float;
+  }
+  intensional edge CONTROLS: Person -> Business;
+}
+"#,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_schema_parses_and_validates() {
+        let s = company_kg_schema().unwrap();
+        assert_eq!(s.name, "CompanyKG");
+        // All §3.3 entities present.
+        for n in [
+            "Person",
+            "PhysicalPerson",
+            "LegalPerson",
+            "Business",
+            "NonBusiness",
+            "PublicListedCompany",
+            "Place",
+            "Share",
+            "StockShare",
+            "BusinessEvent",
+            "Family",
+        ] {
+            assert!(s.node(n).is_some(), "missing node {n}");
+        }
+        for e in [
+            "HOLDS",
+            "BELONGS_TO",
+            "RESIDES",
+            "HAS_ROLE",
+            "REPRESENTS",
+            "PARTICIPATES",
+            "OWNS",
+            "CONTROLS",
+            "IS_RELATED_TO",
+            "BELONGS_TO_FAMILY",
+            "FAMILY_OWNS",
+        ] {
+            assert!(s.edge(e).is_some(), "missing edge {e}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_matches_the_walkthrough() {
+        let s = company_kg_schema().unwrap();
+        assert_eq!(
+            s.ancestors("PublicListedCompany"),
+            vec!["Business", "LegalPerson", "Person"]
+        );
+        // Person generalization is total & disjoint; PublicListedCompany's
+        // is partial («the generalization will not be total»).
+        let g0 = &s.generalizations[0];
+        assert!(g0.is_total && g0.is_disjoint);
+        let plc = s
+            .generalizations
+            .iter()
+            .find(|g| g.children.contains(&"PublicListedCompany".to_string()))
+            .unwrap();
+        assert!(!plc.is_total);
+    }
+
+    #[test]
+    fn intensional_components_are_flagged() {
+        let s = company_kg_schema().unwrap();
+        assert!(s.edge("OWNS").unwrap().is_intensional);
+        assert!(s.edge("CONTROLS").unwrap().is_intensional);
+        assert!(s.node("Family").unwrap().is_intensional);
+        let b = s.node("Business").unwrap();
+        let nos = b
+            .attributes
+            .iter()
+            .find(|a| a.name == "numberOfStakeholders")
+            .unwrap();
+        assert!(nos.is_intensional);
+    }
+
+    #[test]
+    fn business_inherits_the_person_identifier() {
+        let s = company_kg_schema().unwrap();
+        let id = s.identifier_of("Business");
+        assert_eq!(id.len(), 1);
+        assert_eq!(id[0].name, "fiscalCode");
+    }
+
+    #[test]
+    fn simple_schema_validates() {
+        let s = simple_ownership_schema().unwrap();
+        assert!(s.edge("OWNS").is_some());
+        assert!(s.edge("CONTROLS").unwrap().is_intensional);
+    }
+}

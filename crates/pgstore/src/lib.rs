@@ -1,0 +1,29 @@
+//! # kgm-pgstore
+//!
+//! An in-memory **property-graph database** — the storage substrate of
+//! KGModel. The paper deploys its *graph dictionaries* (serialized
+//! super-model and model instances, Section 2.2) and its PG-model targets on
+//! graph DBMSs such as Neo4j; this crate provides the equivalent engine:
+//!
+//! - multi-label nodes and single-label edges with typed properties
+//!   (the regular PG definition of Section 4: `G = (N, E, μ, λ, σ)`);
+//! - label and unique-property indexes with constraint enforcement
+//!   (the §5.2 PG model supports node multi-tagging and uniqueness
+//!   constraints on attributes);
+//! - a structural pattern-matching API used to execute the `@input`
+//!   bindings that MTV generates (Example 4.4), plus a parser/executor for
+//!   the small Cypher fragment those annotations are written in;
+//! - graph algorithms used for the Section 2.1 topology statistics:
+//!   Tarjan SCC, union-find WCC, clustering coefficient, degree statistics
+//!   and a power-law exponent estimator.
+
+pub mod algo;
+pub mod csv;
+pub mod cypher;
+pub mod graph;
+pub mod pattern;
+pub mod stats;
+
+pub use graph::{Direction, EdgeId, NodeId, PropertyGraph};
+pub use pattern::{EdgePattern, NodePattern, TripleMatch};
+pub use stats::{degree_distribution_table, in_degree_histogram, GraphStats};

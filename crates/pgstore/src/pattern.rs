@@ -1,0 +1,304 @@
+//! Structural pattern matching over a [`PropertyGraph`].
+//!
+//! This is the execution backend for the `@input` bindings that MTV
+//! generates (Section 4): a PG node atom `(x : L; K)` becomes a
+//! [`NodePattern`], a PG edge atom `[x : L; K]` an [`EdgePattern`], and the
+//! binary relation `x ρ y` a triple scan. The matcher picks the cheaper side
+//! (label-index cardinality) to drive the scan.
+
+use crate::graph::{Direction, EdgeId, NodeId, PropertyGraph};
+use kgm_common::Value;
+
+/// A node selection: optional label plus required property equalities.
+#[derive(Debug, Clone, Default)]
+pub struct NodePattern {
+    /// Required node label, if any.
+    pub label: Option<String>,
+    /// Required `property = constant` equalities.
+    pub props: Vec<(String, Value)>,
+}
+
+impl NodePattern {
+    /// Pattern matching any node with `label`.
+    pub fn label(label: impl Into<String>) -> Self {
+        NodePattern {
+            label: Some(label.into()),
+            props: Vec::new(),
+        }
+    }
+
+    /// Match any node.
+    pub fn any() -> Self {
+        NodePattern::default()
+    }
+
+    /// Add a property equality requirement.
+    pub fn with_prop(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.props.push((key.into(), value));
+        self
+    }
+
+    /// Does `node` satisfy this pattern in `g`?
+    pub fn matches(&self, g: &PropertyGraph, node: NodeId) -> bool {
+        if let Some(l) = &self.label {
+            if !g.node_has_label(node, l) {
+                return false;
+            }
+        }
+        self.props
+            .iter()
+            .all(|(k, v)| g.node_prop(node, k) == Some(v))
+    }
+}
+
+/// An edge selection: optional label plus required property equalities and a
+/// traversal direction (inverse atoms `ρ⁻` flip to [`Direction::Incoming`]).
+#[derive(Debug, Clone)]
+pub struct EdgePattern {
+    /// Required edge label, if any.
+    pub label: Option<String>,
+    /// Required `property = constant` equalities.
+    pub props: Vec<(String, Value)>,
+    /// Which way the edge is traversed from the source node.
+    pub direction: Direction,
+}
+
+impl Default for EdgePattern {
+    fn default() -> Self {
+        EdgePattern {
+            label: None,
+            props: Vec::new(),
+            direction: Direction::Outgoing,
+        }
+    }
+}
+
+impl EdgePattern {
+    /// Pattern matching outgoing edges with `label`.
+    pub fn label(label: impl Into<String>) -> Self {
+        EdgePattern {
+            label: Some(label.into()),
+            ..Default::default()
+        }
+    }
+
+    /// Flip the traversal direction (the `−` inverse operator of Section 4).
+    pub fn inverse(mut self) -> Self {
+        self.direction = match self.direction {
+            Direction::Outgoing => Direction::Incoming,
+            Direction::Incoming => Direction::Outgoing,
+            Direction::Both => Direction::Both,
+        };
+        self
+    }
+
+    /// Add a property equality requirement.
+    pub fn with_prop(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.props.push((key.into(), value));
+        self
+    }
+
+    /// Does `edge` satisfy label and property requirements (ignoring
+    /// direction, which the scan handles)?
+    pub fn matches_edge(&self, g: &PropertyGraph, edge: EdgeId) -> bool {
+        if let Some(l) = &self.label {
+            if g.edge_label(edge) != *l {
+                return false;
+            }
+        }
+        self.props
+            .iter()
+            .all(|(k, v)| g.edge_prop(edge, k) == Some(v))
+    }
+}
+
+/// One result row of a triple scan: `(source, edge, target)` where `source`
+/// matched the source pattern *after* direction resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripleMatch {
+    /// The node bound to the pattern's source position.
+    pub src: NodeId,
+    /// The matched edge.
+    pub edge: EdgeId,
+    /// The node bound to the pattern's target position.
+    pub dst: NodeId,
+}
+
+impl PropertyGraph {
+    /// All nodes matching `pattern`, driven by the label index when present.
+    pub fn match_nodes(&self, pattern: &NodePattern) -> Vec<NodeId> {
+        let candidates: Vec<NodeId> = match &pattern.label {
+            Some(l) => self.nodes_with_label(l),
+            None => self.nodes().collect(),
+        };
+        candidates
+            .into_iter()
+            .filter(|&n| pattern.matches(self, n))
+            .collect()
+    }
+
+    /// All `(src, edge, dst)` triples where `src` matches `src_pat`, `dst`
+    /// matches `dst_pat` and the connecting edge matches `edge_pat` under its
+    /// direction. With [`Direction::Both`] each undirected match is reported
+    /// once per orientation that satisfies the patterns (semi-path
+    /// semantics).
+    pub fn match_triples(
+        &self,
+        src_pat: &NodePattern,
+        edge_pat: &EdgePattern,
+        dst_pat: &NodePattern,
+    ) -> Vec<TripleMatch> {
+        let mut out = Vec::new();
+        // Drive by edge-label index when available: usually most selective.
+        let edges: Vec<EdgeId> = match &edge_pat.label {
+            Some(l) => self.edges_with_label(l),
+            None => self.edges().collect(),
+        };
+        for e in edges {
+            if !edge_pat.matches_edge(self, e) {
+                continue;
+            }
+            let (f, t) = self.edge_endpoints(e);
+            let forward = |out: &mut Vec<TripleMatch>| {
+                if src_pat.matches(self, f) && dst_pat.matches(self, t) {
+                    out.push(TripleMatch {
+                        src: f,
+                        edge: e,
+                        dst: t,
+                    });
+                }
+            };
+            let backward = |out: &mut Vec<TripleMatch>| {
+                if src_pat.matches(self, t) && dst_pat.matches(self, f) {
+                    out.push(TripleMatch {
+                        src: t,
+                        edge: e,
+                        dst: f,
+                    });
+                }
+            };
+            match edge_pat.direction {
+                Direction::Outgoing => forward(&mut out),
+                Direction::Incoming => backward(&mut out),
+                Direction::Both => {
+                    forward(&mut out);
+                    backward(&mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (PropertyGraph, NodeId, NodeId, NodeId) {
+        let mut g = PropertyGraph::new();
+        let p = g
+            .add_node(
+                ["Person", "PhysicalPerson"],
+                vec![("name".to_string(), Value::str("Ada"))],
+            )
+            .unwrap();
+        let b = g
+            .add_node(["Business"], vec![("name".to_string(), Value::str("ACME"))])
+            .unwrap();
+        let c = g
+            .add_node(["Business"], vec![("name".to_string(), Value::str("Globex"))])
+            .unwrap();
+        g.add_edge(
+            p,
+            b,
+            "OWNS",
+            vec![("percentage".to_string(), Value::Float(0.7))],
+        )
+        .unwrap();
+        g.add_edge(
+            b,
+            c,
+            "OWNS",
+            vec![("percentage".to_string(), Value::Float(0.4))],
+        )
+        .unwrap();
+        g.add_edge(p, c, "HAS_ROLE", vec![]).unwrap();
+        (g, p, b, c)
+    }
+
+    #[test]
+    fn node_pattern_by_label_and_prop() {
+        let (g, p, ..) = sample();
+        let hits = g.match_nodes(&NodePattern::label("PhysicalPerson"));
+        assert_eq!(hits, vec![p]);
+        let hits = g.match_nodes(
+            &NodePattern::label("Business").with_prop("name", Value::str("ACME")),
+        );
+        assert_eq!(hits.len(), 1);
+        let none = g.match_nodes(
+            &NodePattern::label("Business").with_prop("name", Value::str("NONE")),
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn any_pattern_matches_everything() {
+        let (g, ..) = sample();
+        assert_eq!(g.match_nodes(&NodePattern::any()).len(), 3);
+    }
+
+    #[test]
+    fn triple_match_outgoing() {
+        let (g, p, b, _) = sample();
+        let ms = g.match_triples(
+            &NodePattern::label("Person"),
+            &EdgePattern::label("OWNS"),
+            &NodePattern::label("Business"),
+        );
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].src, p);
+        assert_eq!(ms[0].dst, b);
+    }
+
+    #[test]
+    fn triple_match_inverse_swaps_roles() {
+        let (g, p, b, _) = sample();
+        let ms = g.match_triples(
+            &NodePattern::label("Business"),
+            &EdgePattern::label("OWNS").inverse(),
+            &NodePattern::label("Person"),
+        );
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].src, b);
+        assert_eq!(ms[0].dst, p);
+    }
+
+    #[test]
+    fn triple_match_edge_prop_filter() {
+        let (g, ..) = sample();
+        let ms = g.match_triples(
+            &NodePattern::any(),
+            &EdgePattern::label("OWNS").with_prop("percentage", Value::Float(0.4)),
+            &NodePattern::any(),
+        );
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn triple_match_both_directions_reports_each_orientation() {
+        let (g, _, b, c) = sample();
+        let ms = g.match_triples(
+            &NodePattern::label("Business"),
+            &EdgePattern {
+                label: Some("OWNS".into()),
+                props: vec![],
+                direction: Direction::Both,
+            },
+            &NodePattern::label("Business"),
+        );
+        // b -OWNS-> c matches as (b,c) forward and (c,b) backward.
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().any(|m| m.src == b && m.dst == c));
+        assert!(ms.iter().any(|m| m.src == c && m.dst == b));
+    }
+}

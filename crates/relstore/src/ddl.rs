@@ -1,0 +1,162 @@
+//! SQL DDL emission.
+//!
+//! Section 5 of the paper: *"for relational systems ... \[schemas\] can be
+//! rendered as DDL statements, which include the respective constraints such
+//! as keys, foreign keys, domain constraints"*. This module renders a whole
+//! [`Catalog`] as a deterministic DDL script — the enforcement artefact
+//! KGModel deploys to a production relational system.
+
+use crate::catalog::{Catalog, ForeignKey, TableSchema};
+use kgm_common::ValueType;
+
+fn sql_type(ty: ValueType) -> &'static str {
+    match ty {
+        ValueType::Bool => "BOOLEAN",
+        ValueType::Int => "BIGINT",
+        ValueType::Float => "DOUBLE PRECISION",
+        ValueType::Str => "VARCHAR",
+        ValueType::Date => "DATE",
+        ValueType::Oid => "BIGINT",
+    }
+}
+
+fn quote_ident(name: &str) -> String {
+    format!("\"{}\"", name.replace('"', "\"\""))
+}
+
+/// Render one `CREATE TABLE` statement.
+pub fn create_table_sql(schema: &TableSchema) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for c in &schema.columns {
+        let mut line = format!("  {} {}", quote_ident(&c.name), sql_type(c.ty));
+        if c.not_null {
+            line.push_str(" NOT NULL");
+        }
+        if c.unique {
+            line.push_str(" UNIQUE");
+        }
+        lines.push(line);
+    }
+    if !schema.primary_key.is_empty() {
+        let cols: Vec<String> = schema.primary_key.iter().map(|c| quote_ident(c)).collect();
+        lines.push(format!("  PRIMARY KEY ({})", cols.join(", ")));
+    }
+    format!(
+        "CREATE TABLE {} (\n{}\n);",
+        quote_ident(&schema.name),
+        lines.join(",\n")
+    )
+}
+
+/// Render one `ALTER TABLE ... ADD CONSTRAINT ... FOREIGN KEY` statement.
+pub fn foreign_key_sql(fk: &ForeignKey) -> String {
+    let cols: Vec<String> = fk.columns.iter().map(|c| quote_ident(c)).collect();
+    let refs: Vec<String> = fk.ref_columns.iter().map(|c| quote_ident(c)).collect();
+    format!(
+        "ALTER TABLE {} ADD CONSTRAINT {} FOREIGN KEY ({}) REFERENCES {} ({});",
+        quote_ident(&fk.table),
+        quote_ident(&fk.name),
+        cols.join(", "),
+        quote_ident(&fk.ref_table),
+        refs.join(", ")
+    )
+}
+
+/// Render the full catalog as a DDL script: tables in name order, then all
+/// foreign keys (so forward references are legal).
+pub fn catalog_sql(catalog: &Catalog) -> String {
+    let mut out = String::new();
+    for name in catalog.table_names() {
+        out.push_str(&create_table_sql(catalog.schema(&name).expect("listed")));
+        out.push_str("\n\n");
+    }
+    let mut fks: Vec<&ForeignKey> = catalog.foreign_keys().iter().collect();
+    fks.sort_by(|a, b| a.name.cmp(&b.name));
+    for fk in fks {
+        out.push_str(&foreign_key_sql(fk));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+
+    #[test]
+    fn create_table_renders_constraints() {
+        let s = TableSchema::new(
+            "business",
+            vec![
+                Column::new("fiscal_code", ValueType::Str).not_null(),
+                Column::new("website", ValueType::Str).unique(),
+                Column::new("capital", ValueType::Float),
+            ],
+        )
+        .with_pk(["fiscal_code"]);
+        let sql = create_table_sql(&s);
+        assert!(sql.contains("CREATE TABLE \"business\""));
+        assert!(sql.contains("\"fiscal_code\" VARCHAR NOT NULL"));
+        assert!(sql.contains("\"website\" VARCHAR UNIQUE"));
+        assert!(sql.contains("\"capital\" DOUBLE PRECISION"));
+        assert!(sql.contains("PRIMARY KEY (\"fiscal_code\")"));
+    }
+
+    #[test]
+    fn foreign_key_renders_multi_column() {
+        let fk = ForeignKey {
+            name: "fk_share_business".into(),
+            table: "share".into(),
+            columns: vec!["b_code".into(), "b_year".into()],
+            ref_table: "business".into(),
+            ref_columns: vec!["code".into(), "year".into()],
+        };
+        let sql = foreign_key_sql(&fk);
+        assert_eq!(
+            sql,
+            "ALTER TABLE \"share\" ADD CONSTRAINT \"fk_share_business\" FOREIGN KEY (\"b_code\", \"b_year\") REFERENCES \"business\" (\"code\", \"year\");"
+        );
+    }
+
+    #[test]
+    fn catalog_script_orders_tables_before_fks() {
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new("b", vec![Column::new("id", ValueType::Int).not_null()])
+                .with_pk(["id"]),
+        )
+        .unwrap();
+        c.create_table(
+            TableSchema::new(
+                "a",
+                vec![
+                    Column::new("id", ValueType::Int).not_null(),
+                    Column::new("b_id", ValueType::Int),
+                ],
+            )
+            .with_pk(["id"]),
+        )
+        .unwrap();
+        c.add_foreign_key(ForeignKey {
+            name: "fk_a_b".into(),
+            table: "a".into(),
+            columns: vec!["b_id".into()],
+            ref_table: "b".into(),
+            ref_columns: vec!["id".into()],
+        })
+        .unwrap();
+        let script = catalog_sql(&c);
+        let pos_a = script.find("CREATE TABLE \"a\"").unwrap();
+        let pos_b = script.find("CREATE TABLE \"b\"").unwrap();
+        let pos_fk = script.find("ALTER TABLE").unwrap();
+        assert!(pos_a < pos_b, "tables in name order");
+        assert!(pos_b < pos_fk, "fks after all tables");
+    }
+
+    #[test]
+    fn identifiers_are_quoted_safely() {
+        let s = TableSchema::new("we\"ird", vec![Column::new("c", ValueType::Int)]);
+        assert!(create_table_sql(&s).contains("\"we\"\"ird\""));
+    }
+}

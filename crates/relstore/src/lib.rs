@@ -1,0 +1,23 @@
+//! # kgm-relstore
+//!
+//! An in-memory **relational database** — the relational target substrate of
+//! KGModel. Section 5.3 of the paper translates super-schemas into relational
+//! schemas whose constructs are `Relation`s, `Field`s, `Predicate`s and
+//! `ForeignKey`s; Section 5 notes that for relational systems schemas *"can
+//! be rendered as DDL statements, which include the respective constraints
+//! such as keys, foreign keys, domain constraints"*.
+//!
+//! This crate provides exactly that target:
+//!
+//! - a catalog of tables with typed columns, primary keys, NOT NULL /
+//!   UNIQUE column constraints and multi-column foreign keys;
+//! - constraint-checked inserts and simple equality scans;
+//! - SQL DDL emission for the whole catalog (the enforcement artefact the
+//!   paper ships to production relational systems).
+
+pub mod catalog;
+pub mod ddl;
+pub mod table;
+
+pub use catalog::{Catalog, ForeignKey, TableSchema};
+pub use table::{Column, Row};

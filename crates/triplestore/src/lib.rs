@@ -1,0 +1,15 @@
+//! # kgm-triplestore
+//!
+//! A triple-store substrate plus **RDF-S document emission**.
+//!
+//! Section 5 of the paper: *"for RDF stores, schemas can be rendered as
+//! RDF-S (RDF Schema) documents, to be validated by dedicated tools"*. This
+//! crate provides (a) an indexed triple store usable as an RDF-style KG
+//! target and (b) the RDF-S rendering of a class/property vocabulary, which
+//! `kgm-core`'s SSST uses when the selected target model is a triple store.
+
+pub mod rdfs;
+pub mod store;
+
+pub use rdfs::{RdfsProperty, RdfsVocabulary};
+pub use store::{Term, Triple, TripleStore};

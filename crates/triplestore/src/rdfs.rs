@@ -1,0 +1,177 @@
+//! RDF-S vocabulary construction and document emission.
+//!
+//! The SSST renders a translated schema for an RDF target as an RDF Schema
+//! vocabulary: node types become `rdfs:Class`es, generalizations become
+//! `rdfs:subClassOf` axioms, attributes become datatype properties with
+//! `rdfs:domain`/`rdfs:range`, and edges become object properties.
+
+use crate::store::{Term, TripleStore};
+use kgm_common::ValueType;
+
+const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+const RDFS_CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+const RDF_PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+const RDFS_SUBCLASS: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+const RDFS_DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+const RDFS_RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+const XSD: &str = "http://www.w3.org/2001/XMLSchema#";
+
+/// XSD datatype IRI for a KGModel value type.
+pub fn xsd_iri(ty: ValueType) -> String {
+    let local = match ty {
+        ValueType::Bool => "boolean",
+        ValueType::Int => "long",
+        ValueType::Float => "double",
+        ValueType::Str => "string",
+        ValueType::Date => "date",
+        ValueType::Oid => "long",
+    };
+    format!("{XSD}{local}")
+}
+
+/// One property of the vocabulary: a datatype or an object property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RdfsProperty {
+    /// Local name of the property.
+    pub name: String,
+    /// Domain class local name.
+    pub domain: String,
+    /// Range: `Err(class)` for object properties, `Ok(datatype)` for
+    /// datatype properties.
+    pub range: std::result::Result<ValueType, String>,
+}
+
+/// An RDF-S vocabulary: classes, subclass axioms and properties under one
+/// base namespace.
+#[derive(Debug, Clone, Default)]
+pub struct RdfsVocabulary {
+    /// Base namespace, e.g. `http://bancaditalia.example/kg#`.
+    pub base: String,
+    /// Class local names.
+    pub classes: Vec<String>,
+    /// `(child, parent)` subclass pairs.
+    pub subclasses: Vec<(String, String)>,
+    /// Properties.
+    pub properties: Vec<RdfsProperty>,
+}
+
+impl RdfsVocabulary {
+    /// Empty vocabulary under `base`.
+    pub fn new(base: impl Into<String>) -> Self {
+        RdfsVocabulary {
+            base: base.into(),
+            ..Default::default()
+        }
+    }
+
+    fn iri(&self, local: &str) -> Term {
+        Term::iri(format!("{}{}", self.base, local))
+    }
+
+    /// Materialize the vocabulary into a triple store.
+    pub fn to_store(&self) -> TripleStore {
+        let mut ts = TripleStore::new();
+        for c in &self.classes {
+            ts.insert(self.iri(c), Term::iri(RDF_TYPE), Term::iri(RDFS_CLASS));
+            ts.insert(self.iri(c), Term::iri(RDFS_LABEL), Term::Literal(c.clone()));
+        }
+        for (child, parent) in &self.subclasses {
+            ts.insert(self.iri(child), Term::iri(RDFS_SUBCLASS), self.iri(parent));
+        }
+        for p in &self.properties {
+            ts.insert(self.iri(&p.name), Term::iri(RDF_TYPE), Term::iri(RDF_PROPERTY));
+            ts.insert(self.iri(&p.name), Term::iri(RDFS_DOMAIN), self.iri(&p.domain));
+            let range = match &p.range {
+                Ok(ty) => Term::iri(xsd_iri(*ty)),
+                Err(class) => self.iri(class),
+            };
+            ts.insert(self.iri(&p.name), Term::iri(RDFS_RANGE), range);
+        }
+        ts
+    }
+
+    /// Render the RDF-S document (sorted N-Triples).
+    pub fn to_document(&self) -> String {
+        self.to_store().to_ntriples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RdfsVocabulary {
+        let mut v = RdfsVocabulary::new("http://example.org/kg#");
+        v.classes = vec!["Person".into(), "PhysicalPerson".into(), "Business".into()];
+        v.subclasses = vec![("PhysicalPerson".into(), "Person".into())];
+        v.properties = vec![
+            RdfsProperty {
+                name: "fiscalCode".into(),
+                domain: "Person".into(),
+                range: Ok(ValueType::Str),
+            },
+            RdfsProperty {
+                name: "OWNS".into(),
+                domain: "Person".into(),
+                range: Err("Business".into()),
+            },
+        ];
+        v
+    }
+
+    #[test]
+    fn classes_become_rdfs_classes() {
+        let ts = sample().to_store();
+        assert!(ts.contains(
+            &Term::iri("http://example.org/kg#Person"),
+            &Term::iri(RDF_TYPE),
+            &Term::iri(RDFS_CLASS)
+        ));
+    }
+
+    #[test]
+    fn subclass_axioms_are_emitted() {
+        let ts = sample().to_store();
+        assert!(ts.contains(
+            &Term::iri("http://example.org/kg#PhysicalPerson"),
+            &Term::iri(RDFS_SUBCLASS),
+            &Term::iri("http://example.org/kg#Person")
+        ));
+    }
+
+    #[test]
+    fn datatype_and_object_properties_get_correct_ranges() {
+        let ts = sample().to_store();
+        assert!(ts.contains(
+            &Term::iri("http://example.org/kg#fiscalCode"),
+            &Term::iri(RDFS_RANGE),
+            &Term::iri("http://www.w3.org/2001/XMLSchema#string")
+        ));
+        assert!(ts.contains(
+            &Term::iri("http://example.org/kg#OWNS"),
+            &Term::iri(RDFS_RANGE),
+            &Term::iri("http://example.org/kg#Business")
+        ));
+    }
+
+    #[test]
+    fn document_is_deterministic() {
+        assert_eq!(sample().to_document(), sample().to_document());
+        assert!(sample().to_document().contains("subClassOf"));
+    }
+
+    #[test]
+    fn xsd_mapping_is_total() {
+        for ty in [
+            ValueType::Bool,
+            ValueType::Int,
+            ValueType::Float,
+            ValueType::Str,
+            ValueType::Date,
+            ValueType::Oid,
+        ] {
+            assert!(xsd_iri(ty).starts_with(XSD));
+        }
+    }
+}

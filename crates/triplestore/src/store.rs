@@ -1,0 +1,214 @@
+//! An indexed triple store.
+//!
+//! Terms are IRIs, literals or blank nodes; the store maintains SPO, POS and
+//! OSP hash indexes so any single-position or two-position lookup is a hash
+//! probe plus a scan of the narrow candidate list.
+
+use kgm_common::{FxHashMap, FxHashSet, Value};
+use std::fmt;
+
+/// An RDF term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI (stored as text).
+    Iri(String),
+    /// A literal value (lexical form; typed values print via `Value`).
+    Literal(String),
+    /// A blank node with a local id.
+    Blank(u64),
+}
+
+impl Term {
+    /// IRI constructor.
+    pub fn iri(s: impl Into<String>) -> Term {
+        Term::Iri(s.into())
+    }
+
+    /// Literal constructor from any [`Value`].
+    pub fn literal(v: &Value) -> Term {
+        Term::Literal(v.to_string())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => write!(f, "<{s}>"),
+            Term::Literal(s) => write!(f, "{s:?}"),
+            Term::Blank(id) => write!(f, "_:b{id}"),
+        }
+    }
+}
+
+/// One (subject, predicate, object) statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Subject.
+    pub s: Term,
+    /// Predicate.
+    pub p: Term,
+    /// Object.
+    pub o: Term,
+}
+
+/// The indexed triple store.
+#[derive(Default)]
+pub struct TripleStore {
+    triples: FxHashSet<Triple>,
+    spo: FxHashMap<Term, Vec<usize>>,
+    pos: FxHashMap<Term, Vec<usize>>,
+    osp: FxHashMap<Term, Vec<usize>>,
+    arena: Vec<Triple>,
+    next_blank: u64,
+}
+
+impl TripleStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        TripleStore::default()
+    }
+
+    /// Mint a fresh blank node.
+    pub fn fresh_blank(&mut self) -> Term {
+        self.next_blank += 1;
+        Term::Blank(self.next_blank)
+    }
+
+    /// Insert a triple; duplicates are ignored. Returns true if new.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let t = Triple {
+            s: s.clone(),
+            p: p.clone(),
+            o: o.clone(),
+        };
+        if !self.triples.insert(t.clone()) {
+            return false;
+        }
+        let idx = self.arena.len();
+        self.arena.push(t);
+        self.spo.entry(s).or_default().push(idx);
+        self.pos.entry(p).or_default().push(idx);
+        self.osp.entry(o).or_default().push(idx);
+        true
+    }
+
+    /// Number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if no triples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Exact containment check.
+    pub fn contains(&self, s: &Term, p: &Term, o: &Term) -> bool {
+        self.triples.contains(&Triple {
+            s: s.clone(),
+            p: p.clone(),
+            o: o.clone(),
+        })
+    }
+
+    /// Pattern match with optional positions (`None` = wildcard).
+    pub fn find(&self, s: Option<&Term>, p: Option<&Term>, o: Option<&Term>) -> Vec<&Triple> {
+        // Pick the most selective available index.
+        let candidates: Box<dyn Iterator<Item = usize> + '_> = match (s, p, o) {
+            (Some(s), _, _) => match self.spo.get(s) {
+                Some(v) => Box::new(v.iter().copied()),
+                None => Box::new(std::iter::empty()),
+            },
+            (None, _, Some(o)) => match self.osp.get(o) {
+                Some(v) => Box::new(v.iter().copied()),
+                None => Box::new(std::iter::empty()),
+            },
+            (None, Some(p), None) => match self.pos.get(p) {
+                Some(v) => Box::new(v.iter().copied()),
+                None => Box::new(std::iter::empty()),
+            },
+            (None, None, None) => Box::new(0..self.arena.len()),
+        };
+        candidates
+            .map(|i| &self.arena[i])
+            .filter(|t| {
+                s.is_none_or(|s| *s == t.s)
+                    && p.is_none_or(|p| *p == t.p)
+                    && o.is_none_or(|o| *o == t.o)
+            })
+            .collect()
+    }
+
+    /// Serialize as sorted N-Triples-style lines (deterministic output).
+    pub fn to_ntriples(&self) -> String {
+        let mut lines: Vec<String> = self
+            .arena
+            .iter()
+            .map(|t| format!("{} {} {} .", t.s, t.p, t.o))
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> (Term, Term, Term) {
+        (Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    #[test]
+    fn insert_and_dedup() {
+        let mut ts = TripleStore::new();
+        let (s, p, o) = t("a", "p", "b");
+        assert!(ts.insert(s.clone(), p.clone(), o.clone()));
+        assert!(!ts.insert(s, p, o));
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn find_by_each_position() {
+        let mut ts = TripleStore::new();
+        let (a, p, b) = t("a", "p", "b");
+        let (c, q, _) = t("c", "q", "b");
+        ts.insert(a.clone(), p.clone(), b.clone());
+        ts.insert(c.clone(), q.clone(), b.clone());
+        assert_eq!(ts.find(Some(&a), None, None).len(), 1);
+        assert_eq!(ts.find(None, Some(&q), None).len(), 1);
+        assert_eq!(ts.find(None, None, Some(&b)).len(), 2);
+        assert_eq!(ts.find(None, None, None).len(), 2);
+        assert_eq!(ts.find(Some(&a), Some(&p), Some(&b)).len(), 1);
+        assert_eq!(ts.find(Some(&a), Some(&q), None).len(), 0);
+    }
+
+    #[test]
+    fn blank_nodes_are_fresh() {
+        let mut ts = TripleStore::new();
+        assert_ne!(ts.fresh_blank(), ts.fresh_blank());
+    }
+
+    #[test]
+    fn ntriples_is_sorted_and_complete() {
+        let mut ts = TripleStore::new();
+        let (a, p, b) = t("z", "p", "b");
+        ts.insert(a, p, b);
+        ts.insert(Term::iri("a"), Term::iri("p"), Term::Literal("x".into()));
+        let s = ts.to_ntriples();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0] < lines[1]);
+        assert!(s.contains("<z> <p> <b> ."));
+        assert!(s.contains("\"x\""));
+    }
+
+    #[test]
+    fn literal_from_value_uses_display() {
+        assert_eq!(Term::literal(&Value::Int(5)), Term::Literal("5".into()));
+        assert_eq!(
+            Term::literal(&Value::str("ciao")),
+            Term::Literal("ciao".into())
+        );
+    }
+}

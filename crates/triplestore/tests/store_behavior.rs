@@ -1,0 +1,89 @@
+//! Triple-store behaviour tests: index combinations, blank nodes,
+//! vocabulary composition.
+
+use kgm_common::ValueType;
+use kgm_triplestore::{RdfsProperty, RdfsVocabulary, Term, TripleStore};
+
+#[test]
+fn two_position_lookups_use_available_indexes() {
+    let mut ts = TripleStore::new();
+    for (s, p, o) in [
+        ("a", "knows", "b"),
+        ("a", "knows", "c"),
+        ("a", "likes", "b"),
+        ("b", "knows", "c"),
+    ] {
+        ts.insert(Term::iri(s), Term::iri(p), Term::iri(o));
+    }
+    let (a, knows, c) = (Term::iri("a"), Term::iri("knows"), Term::iri("c"));
+    assert_eq!(ts.find(Some(&a), Some(&knows), None).len(), 2);
+    assert_eq!(ts.find(None, Some(&knows), Some(&c)).len(), 2);
+    assert_eq!(ts.find(Some(&a), None, Some(&c)).len(), 1);
+    assert_eq!(ts.find(Some(&a), Some(&knows), Some(&c)).len(), 1);
+}
+
+#[test]
+fn blank_nodes_participate_in_triples() {
+    let mut ts = TripleStore::new();
+    let b1 = ts.fresh_blank();
+    let b2 = ts.fresh_blank();
+    ts.insert(b1.clone(), Term::iri("p"), b2.clone());
+    assert!(ts.contains(&b1, &Term::iri("p"), &b2));
+    assert_eq!(ts.find(Some(&b1), None, None).len(), 1);
+    let text = ts.to_ntriples();
+    assert!(text.contains("_:b1"));
+    assert!(text.contains("_:b2"));
+}
+
+#[test]
+fn literals_with_special_characters_render_escaped() {
+    let mut ts = TripleStore::new();
+    ts.insert(
+        Term::iri("x"),
+        Term::iri("label"),
+        Term::Literal("quote \" inside".into()),
+    );
+    let text = ts.to_ntriples();
+    assert!(text.contains("\\\""), "{text}");
+}
+
+#[test]
+fn vocabulary_with_deep_hierarchy_and_mixed_ranges() {
+    let mut v = RdfsVocabulary::new("http://ex/#");
+    v.classes = vec!["A".into(), "B".into(), "C".into()];
+    v.subclasses = vec![("B".into(), "A".into()), ("C".into(), "B".into())];
+    v.properties = vec![
+        RdfsProperty {
+            name: "age".into(),
+            domain: "A".into(),
+            range: Ok(ValueType::Int),
+        },
+        RdfsProperty {
+            name: "REL".into(),
+            domain: "C".into(),
+            range: Err("A".into()),
+        },
+    ];
+    let ts = v.to_store();
+    // 3 class decls + 3 labels + 2 subclass + 2 props × 3 triples = 14.
+    assert_eq!(ts.len(), 3 + 3 + 2 + 6);
+    assert!(ts.contains(
+        &Term::iri("http://ex/#C"),
+        &Term::iri("http://www.w3.org/2000/01/rdf-schema#subClassOf"),
+        &Term::iri("http://ex/#B"),
+    ));
+    assert!(ts.contains(
+        &Term::iri("http://ex/#REL"),
+        &Term::iri("http://www.w3.org/2000/01/rdf-schema#range"),
+        &Term::iri("http://ex/#A"),
+    ));
+}
+
+#[test]
+fn empty_store_and_empty_vocabulary() {
+    let ts = TripleStore::new();
+    assert!(ts.is_empty());
+    assert_eq!(ts.to_ntriples(), "");
+    let v = RdfsVocabulary::new("http://ex/#");
+    assert!(v.to_store().is_empty());
+}

@@ -1,0 +1,461 @@
+//! Abstract syntax of Vadalog programs.
+//!
+//! A program is a set of existential rules over relational atoms
+//! (Section 4, "Relational Foundations and Vadalog") plus `@input` /
+//! `@output` annotations. Terms are constants from the value domain `C`
+//! or variables; labelled nulls and Skolem values only arise at runtime.
+
+use crate::bindings::{InputBinding, OutputBinding};
+use kgm_common::Value;
+use std::fmt;
+
+/// A rule-scoped variable (index into the rule's variable table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u16);
+
+/// A term: constant or variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A constant value.
+    Const(Value),
+    /// A variable.
+    Var(Var),
+}
+
+impl Term {
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// A relational atom `p(t1, ..., tn)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Predicate name.
+    pub predicate: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(predicate: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            predicate: predicate.into(),
+            terms,
+        }
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Variables occurring in the atom (with duplicates).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+}
+
+/// Binary operators usable in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric addition or string concatenation).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// logical `&&`
+    And,
+    /// logical `||`
+    Or,
+}
+
+/// A scalar expression over bound variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Constant.
+    Const(Value),
+    /// Variable reference.
+    Var(Var),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// A linker Skolem functor application `skolem("name", e1, ..., ek)`
+    /// (Section 4, Linker Skolem Functors).
+    Skolem(String, Vec<Expr>),
+    /// Named scalar function (`abs`, `concat`, ...).
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Collect all variables referenced by the expression.
+    pub fn vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => out.push(*v),
+            Expr::Bin(_, a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Expr::Not(a) => a.vars(out),
+            Expr::Skolem(_, args) | Expr::Call(_, args) => {
+                for a in args {
+                    a.vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// Aggregation functions. The `m*` variants are Vadalog's *monotonic*
+/// aggregations, legal inside recursion; the plain variants are exact and
+/// must be stratified. A plain `sum`/`count`/... written inside a recursive
+/// rule is auto-promoted to its monotonic counterpart, matching how the
+/// paper writes the control rule of Example 4.2 with `sum`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFunc {
+    /// Exact sum.
+    Sum,
+    /// Monotonic sum.
+    MSum,
+    /// Exact count.
+    Count,
+    /// Monotonic count.
+    MCount,
+    /// Exact minimum.
+    Min,
+    /// Monotonic minimum (refines downward).
+    MMin,
+    /// Exact maximum.
+    Max,
+    /// Monotonic maximum (refines upward).
+    MMax,
+    /// Exact product (positive contributions only for monotonicity).
+    Prod,
+    /// Monotonic product.
+    MProd,
+    /// Exact average (no monotonic counterpart).
+    Avg,
+}
+
+impl AggregateFunc {
+    /// Parse an aggregate name.
+    pub fn parse(name: &str) -> Option<AggregateFunc> {
+        Some(match name {
+            "sum" => AggregateFunc::Sum,
+            "msum" => AggregateFunc::MSum,
+            "count" => AggregateFunc::Count,
+            "mcount" => AggregateFunc::MCount,
+            "min" => AggregateFunc::Min,
+            "mmin" => AggregateFunc::MMin,
+            "max" => AggregateFunc::Max,
+            "mmax" => AggregateFunc::MMax,
+            "prod" => AggregateFunc::Prod,
+            "mprod" => AggregateFunc::MProd,
+            "avg" => AggregateFunc::Avg,
+            _ => return None,
+        })
+    }
+
+    /// The monotonic counterpart (used by auto-promotion in recursion).
+    pub fn monotonic(self) -> Option<AggregateFunc> {
+        Some(match self {
+            AggregateFunc::Sum | AggregateFunc::MSum => AggregateFunc::MSum,
+            AggregateFunc::Count | AggregateFunc::MCount => AggregateFunc::MCount,
+            AggregateFunc::Min | AggregateFunc::MMin => AggregateFunc::MMin,
+            AggregateFunc::Max | AggregateFunc::MMax => AggregateFunc::MMax,
+            AggregateFunc::Prod | AggregateFunc::MProd => AggregateFunc::MProd,
+            AggregateFunc::Avg => return None,
+        })
+    }
+
+    /// True for the `m*` variants.
+    pub fn is_monotonic(self) -> bool {
+        matches!(
+            self,
+            AggregateFunc::MSum
+                | AggregateFunc::MCount
+                | AggregateFunc::MMin
+                | AggregateFunc::MMax
+                | AggregateFunc::MProd
+        )
+    }
+}
+
+/// An aggregate assignment `v = f(expr, ⟨contributors⟩)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// The variable receiving the aggregate value.
+    pub target: Var,
+    /// Aggregation function.
+    pub func: AggregateFunc,
+    /// The aggregated expression (ignored for `count`).
+    pub arg: Option<Expr>,
+    /// The contributor key `⟨z̄⟩`: re-contributions with the same key are
+    /// idempotent (Example 4.2 sums `w` over distinct controlled companies
+    /// `z`).
+    pub contributors: Vec<Var>,
+}
+
+/// One body step after the positive atoms, evaluated in written order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleStep {
+    /// A condition that must evaluate to `true`.
+    Condition(Expr),
+    /// A scalar assignment `v = expr` binding a fresh variable.
+    Assign(Var, Expr),
+    /// An aggregate assignment (at most one per rule).
+    Aggregate(Aggregate),
+    /// A negated atom `not p(t̄)` (all variables must be bound).
+    Negated(Atom),
+}
+
+/// An existential rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Positive body atoms, joined in written order.
+    pub body: Vec<Atom>,
+    /// Conditions, assignments, aggregates, negated atoms — in written order.
+    pub steps: Vec<RuleStep>,
+    /// Head atoms. Head variables not bound by the body are existential.
+    pub head: Vec<Atom>,
+    /// Variable names (index = `Var` id), for diagnostics.
+    pub var_names: Vec<String>,
+}
+
+impl Rule {
+    /// Variables bound by positive body atoms.
+    pub fn positive_vars(&self) -> Vec<Var> {
+        let mut out: Vec<Var> = self.body.iter().flat_map(|a| a.vars()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Variables bound by body atoms or assignments/aggregates.
+    pub fn bound_vars(&self) -> Vec<Var> {
+        let mut out = self.positive_vars();
+        for s in &self.steps {
+            match s {
+                RuleStep::Assign(v, _) => out.push(*v),
+                RuleStep::Aggregate(a) => out.push(a.target),
+                _ => {}
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Existential variables: head variables not bound anywhere in the body.
+    pub fn existential_vars(&self) -> Vec<Var> {
+        let bound = self.bound_vars();
+        let mut out: Vec<Var> = self
+            .head
+            .iter()
+            .flat_map(|a| a.vars())
+            .filter(|v| !bound.contains(v))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The frontier: bound variables that appear in the head.
+    pub fn frontier(&self) -> Vec<Var> {
+        let bound = self.bound_vars();
+        let mut out: Vec<Var> = self
+            .head
+            .iter()
+            .flat_map(|a| a.vars())
+            .filter(|v| bound.contains(v))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The rule's aggregate step, if any.
+    pub fn aggregate(&self) -> Option<&Aggregate> {
+        self.steps.iter().find_map(|s| match s {
+            RuleStep::Aggregate(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Human-readable variable name.
+    pub fn var_name(&self, v: Var) -> &str {
+        self.var_names
+            .get(v.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+}
+
+/// A parsed Vadalog program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+    /// Ground facts stated directly in the program text (`p(1,2).`).
+    pub facts: Vec<Atom>,
+    /// `@input` annotations.
+    pub inputs: Vec<InputBinding>,
+    /// `@output` annotations.
+    pub outputs: Vec<OutputBinding>,
+}
+
+impl Program {
+    /// All predicate names used anywhere (body, head, facts), sorted.
+    pub fn predicates(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in &self.rules {
+            for a in r.body.iter().chain(r.head.iter()) {
+                out.push(a.predicate.clone());
+            }
+            for s in &r.steps {
+                if let RuleStep::Negated(a) = s {
+                    out.push(a.predicate.clone());
+                }
+            }
+        }
+        for f in &self.facts {
+            out.push(f.predicate.clone());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Merge another program's rules/facts/annotations into this one.
+    pub fn extend(&mut self, other: Program) {
+        self.rules.extend(other.rules);
+        self.facts.extend(other.facts);
+        self.inputs.extend(other.inputs);
+        self.outputs.extend(other.outputs);
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let atom = |a: &Atom| {
+            let args: Vec<String> = a
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => format!("{c:?}"),
+                    Term::Var(v) => self.var_name(*v).to_string(),
+                })
+                .collect();
+            format!("{}({})", a.predicate, args.join(", "))
+        };
+        let mut parts: Vec<String> = self.body.iter().map(atom).collect();
+        for s in &self.steps {
+            match s {
+                RuleStep::Condition(_) => parts.push("<cond>".to_string()),
+                RuleStep::Assign(v, _) => parts.push(format!("{} = <expr>", self.var_name(*v))),
+                RuleStep::Aggregate(a) => {
+                    parts.push(format!("{} = <agg>", self.var_name(a.target)))
+                }
+                RuleStep::Negated(a) => parts.push(format!("not {}", atom(a))),
+            }
+        }
+        let heads: Vec<String> = self.head.iter().map(atom).collect();
+        write!(f, "{} -> {}.", parts.join(", "), heads.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u16) -> Term {
+        Term::Var(Var(i))
+    }
+
+    #[test]
+    fn existential_and_frontier_vars() {
+        // b(X) -> c(X, Y): Y existential, X frontier.
+        let r = Rule {
+            body: vec![Atom::new("b", vec![v(0)])],
+            steps: vec![],
+            head: vec![Atom::new("c", vec![v(0), v(1)])],
+            var_names: vec!["X".into(), "Y".into()],
+        };
+        assert_eq!(r.existential_vars(), vec![Var(1)]);
+        assert_eq!(r.frontier(), vec![Var(0)]);
+    }
+
+    #[test]
+    fn assigned_vars_are_bound() {
+        // b(X), Y = X -> c(X, Y): nothing existential.
+        let r = Rule {
+            body: vec![Atom::new("b", vec![v(0)])],
+            steps: vec![RuleStep::Assign(Var(1), Expr::Var(Var(0)))],
+            head: vec![Atom::new("c", vec![v(0), v(1)])],
+            var_names: vec!["X".into(), "Y".into()],
+        };
+        assert!(r.existential_vars().is_empty());
+        assert_eq!(r.frontier(), vec![Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn aggregate_func_promotion() {
+        assert_eq!(AggregateFunc::Sum.monotonic(), Some(AggregateFunc::MSum));
+        assert_eq!(AggregateFunc::Avg.monotonic(), None);
+        assert!(AggregateFunc::MSum.is_monotonic());
+        assert!(!AggregateFunc::Sum.is_monotonic());
+    }
+
+    #[test]
+    fn program_predicates_are_deduped_and_sorted() {
+        let r = Rule {
+            body: vec![Atom::new("b", vec![v(0)])],
+            steps: vec![RuleStep::Negated(Atom::new("n", vec![v(0)]))],
+            head: vec![Atom::new("a", vec![v(0)])],
+            var_names: vec!["X".into()],
+        };
+        let p = Program {
+            rules: vec![r],
+            facts: vec![Atom::new("b", vec![Term::Const(Value::Int(1))])],
+            inputs: vec![],
+            outputs: vec![],
+        };
+        assert_eq!(p.predicates(), vec!["a", "b", "n"]);
+    }
+
+    #[test]
+    fn expr_vars_are_collected() {
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Var(Var(3))),
+            Box::new(Expr::Skolem("sk".into(), vec![Expr::Var(Var(5))])),
+        );
+        let mut vs = Vec::new();
+        e.vars(&mut vs);
+        assert_eq!(vs, vec![Var(3), Var(5)]);
+    }
+}

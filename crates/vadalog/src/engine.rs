@@ -1,0 +1,1315 @@
+//! The chase engine: stratified semi-naive evaluation with existentials,
+//! Skolem functors and aggregation.
+//!
+//! The evaluation strategy follows Section 4 of the paper and the Vadalog
+//! literature it builds on:
+//!
+//! - **Skolem chase for existentials**: a head variable not bound by the
+//!   body is realized as a labelled null (OID space `N`) keyed by
+//!   `(rule, variable, frontier values)` — re-firing a rule on the same
+//!   ground tuple reuses the same null, which (together with wardedness)
+//!   terminates on the paper's programs. An explicit fact cap is the
+//!   engine's safety net.
+//! - **Stratified execution**: negation and *exact* aggregation read only
+//!   strictly lower strata; within a stratum, rules run to a semi-naive
+//!   fixpoint (delta-restricted re-evaluation).
+//! - **Monotonic aggregation in recursion**: contributor-keyed accumulation
+//!   (Example 4.2's `sum(w, ⟨z⟩)`): each distinct contributor tuple is
+//!   counted once, updates re-fire the rule with the refined value.
+
+use crate::analysis::{AggMode, ProgramAnalysis};
+use crate::ast::{AggregateFunc, Program, Rule, RuleStep, Term, Var};
+use crate::bindings::SourceRegistry;
+use crate::eval::{eval, EvalCtx};
+use kgm_common::{
+    FxHashMap, FxHashSet, KgmError, Oid, OidGen, OidSpace, Result, SkolemRegistry, Value,
+};
+use std::cell::RefCell;
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Fact storage
+// ---------------------------------------------------------------------
+
+struct Index {
+    map: FxHashMap<Vec<Value>, Vec<u32>>,
+    built_upto: usize,
+}
+
+/// One predicate's extension.
+struct Relation {
+    arity: usize,
+    tuples: Vec<Vec<Value>>,
+    set: FxHashSet<Vec<Value>>,
+    indexes: RefCell<FxHashMap<Vec<usize>, Index>>,
+}
+
+impl Relation {
+    fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: Vec::new(),
+            set: FxHashSet::default(),
+            indexes: RefCell::new(FxHashMap::default()),
+        }
+    }
+
+    fn insert(&mut self, tuple: Vec<Value>) -> bool {
+        if self.set.contains(&tuple) {
+            return false;
+        }
+        self.set.insert(tuple.clone());
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// Tuple indices matching `key` at `positions`, restricted to `range`.
+    fn lookup(&self, positions: &[usize], key: &[Value], range: &Range<usize>) -> Vec<u32> {
+        if positions.is_empty() {
+            return (range.start as u32..range.end as u32).collect();
+        }
+        let mut indexes = self.indexes.borrow_mut();
+        let entry = indexes.entry(positions.to_vec()).or_insert_with(|| Index {
+            map: FxHashMap::default(),
+            built_upto: 0,
+        });
+        // Catch the index up with newly inserted tuples.
+        while entry.built_upto < self.tuples.len() {
+            let i = entry.built_upto;
+            let k: Vec<Value> = positions
+                .iter()
+                .map(|&p| self.tuples[i][p].clone())
+                .collect();
+            entry.map.entry(k).or_default().push(i as u32);
+            entry.built_upto += 1;
+        }
+        match entry.map.get(key) {
+            Some(v) => v
+                .iter()
+                .copied()
+                .filter(|&i| (i as usize) >= range.start && (i as usize) < range.end)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// The fact database the engine reads from and writes to.
+#[derive(Default)]
+pub struct FactDb {
+    rels: FxHashMap<String, Relation>,
+    total: usize,
+}
+
+impl FactDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        FactDb::default()
+    }
+
+    /// Insert one fact. Returns `true` if it was new.
+    pub fn insert(&mut self, predicate: &str, tuple: Vec<Value>) -> Result<bool> {
+        let rel = self
+            .rels
+            .entry(predicate.to_string())
+            .or_insert_with(|| Relation::new(tuple.len()));
+        if rel.arity != tuple.len() {
+            return Err(KgmError::Schema(format!(
+                "predicate `{predicate}` has arity {}, got tuple of length {}",
+                rel.arity,
+                tuple.len()
+            )));
+        }
+        let new = rel.insert(tuple);
+        if new {
+            self.total += 1;
+        }
+        Ok(new)
+    }
+
+    /// Bulk insert.
+    pub fn add_facts(&mut self, predicate: &str, tuples: Vec<Vec<Value>>) -> Result<usize> {
+        let mut n = 0;
+        for t in tuples {
+            if self.insert(predicate, t)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Snapshot of a predicate's facts (empty if unknown).
+    pub fn facts(&self, predicate: &str) -> Vec<Vec<Value>> {
+        self.rels
+            .get(predicate)
+            .map(|r| r.tuples.clone())
+            .unwrap_or_default()
+    }
+
+    /// The facts of `predicate` from index `start` on — used to separate
+    /// derived facts from previously loaded input facts.
+    pub fn facts_after(&self, predicate: &str, start: usize) -> Vec<Vec<Value>> {
+        self.rels
+            .get(predicate)
+            .map(|r| r.tuples.get(start..).unwrap_or_default().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Number of facts for `predicate`.
+    pub fn len(&self, predicate: &str) -> usize {
+        self.rels.get(predicate).map(|r| r.tuples.len()).unwrap_or(0)
+    }
+
+    /// True if the database holds no facts at all.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total fact count across predicates.
+    pub fn total_facts(&self) -> usize {
+        self.total
+    }
+
+    /// Exact containment test.
+    pub fn contains(&self, predicate: &str, tuple: &[Value]) -> bool {
+        self.rels
+            .get(predicate)
+            .is_some_and(|r| r.set.contains(tuple))
+    }
+
+    /// All predicate names, sorted.
+    pub fn predicates(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.rels.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+/// Engine limits and policy.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Fixpoint iteration cap per stratum.
+    pub max_iterations: usize,
+    /// Global derived-fact cap (chase safety net).
+    pub max_facts: usize,
+    /// Refuse to run programs that fail the wardedness check.
+    pub require_warded: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_iterations: 1_000_000,
+            max_facts: 50_000_000,
+            require_warded: true,
+        }
+    }
+}
+
+/// Statistics of one reasoning run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of strata executed.
+    pub strata: usize,
+    /// Total fixpoint iterations across strata.
+    pub iterations: usize,
+    /// Facts newly derived by rules (input facts excluded).
+    pub derived_facts: usize,
+    /// Labelled nulls minted for existentials.
+    pub nulls_created: usize,
+}
+
+struct MonoState {
+    contributors: FxHashMap<Vec<Value>, Value>,
+    current: Value,
+}
+
+/// Per-rule precomputed metadata.
+struct RuleMeta {
+    stratum: usize,
+    /// head variables except the aggregate target (group key), in var order.
+    group_vars: Vec<Var>,
+    existentials: Vec<Var>,
+    frontier: Vec<Var>,
+    agg_mode: Option<AggMode>,
+    /// Index of the aggregate step in `rule.steps`.
+    agg_step: Option<usize>,
+}
+
+/// The Vadalog reasoner.
+pub struct Engine {
+    program: Program,
+    analysis: ProgramAnalysis,
+    config: EngineConfig,
+    skolems: Arc<SkolemRegistry>,
+    meta: Vec<RuleMeta>,
+}
+
+impl Engine {
+    /// Build an engine with default configuration.
+    pub fn new(program: Program) -> Result<Engine> {
+        Engine::with_config(program, EngineConfig::default())
+    }
+
+    /// Build an engine with an explicit configuration.
+    pub fn with_config(program: Program, config: EngineConfig) -> Result<Engine> {
+        let analysis = ProgramAnalysis::analyze(&program)?;
+        if config.require_warded && !analysis.warded {
+            return Err(KgmError::Analysis(format!(
+                "program is not warded: {}",
+                analysis.warded_violations.join("; ")
+            )));
+        }
+        let mut meta = Vec::with_capacity(program.rules.len());
+        for (ri, rule) in program.rules.iter().enumerate() {
+            let stratum = rule
+                .head
+                .iter()
+                .map(|h| analysis.stratification.of(&h.predicate))
+                .max()
+                .unwrap_or(0);
+            let agg_mode = analysis.agg_modes.get(&ri).copied();
+            let agg_step = rule
+                .steps
+                .iter()
+                .position(|s| matches!(s, RuleStep::Aggregate(_)));
+            let mut group_vars: Vec<Var> = Vec::new();
+            if let Some(agg) = rule.aggregate() {
+                if rule.head.len() != 1 {
+                    return Err(KgmError::Analysis(format!(
+                        "rule #{ri}: aggregate rules must have exactly one head atom"
+                    )));
+                }
+                let bound: FxHashSet<Var> = rule.bound_vars().into_iter().collect();
+                group_vars = rule.head[0]
+                    .vars()
+                    .filter(|v| *v != agg.target && bound.contains(v))
+                    .collect();
+                group_vars.sort_unstable();
+                group_vars.dedup();
+                // Exact mode: post-aggregate steps and the head may only use
+                // group vars + the target (other body vars are collapsed by
+                // grouping).
+                if agg_mode == Some(AggMode::Exact) {
+                    let allowed: FxHashSet<Var> = group_vars
+                        .iter()
+                        .copied()
+                        .chain(std::iter::once(agg.target))
+                        .collect();
+                    for s in &rule.steps[agg_step.expect("agg exists") + 1..] {
+                        let mut vs = Vec::new();
+                        match s {
+                            RuleStep::Condition(e) => e.vars(&mut vs),
+                            RuleStep::Assign(_, e) => e.vars(&mut vs),
+                            RuleStep::Negated(a) => vs.extend(a.vars()),
+                            RuleStep::Aggregate(_) => unreachable!("single aggregate"),
+                        }
+                        for v in vs {
+                            if !allowed.contains(&v) {
+                                return Err(KgmError::Analysis(format!(
+                                    "rule #{ri}: step after an exact aggregate uses \
+                                     non-group variable `{}`",
+                                    rule.var_name(v)
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+            meta.push(RuleMeta {
+                stratum,
+                group_vars,
+                existentials: rule.existential_vars(),
+                frontier: rule.frontier(),
+                agg_mode,
+                agg_step,
+            });
+        }
+        Ok(Engine {
+            program,
+            analysis,
+            config,
+            skolems: Arc::new(SkolemRegistry::new()),
+            meta,
+        })
+    }
+
+    /// The analyzed program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The analysis results.
+    pub fn analysis(&self) -> &ProgramAnalysis {
+        &self.analysis
+    }
+
+    /// The engine's Skolem registry (shared with MetaLog translations).
+    pub fn skolems(&self) -> &Arc<SkolemRegistry> {
+        &self.skolems
+    }
+
+    /// Load every `@input` binding of the program from `registry` into `db`.
+    pub fn load_inputs(&self, registry: &SourceRegistry, db: &mut FactDb) -> Result<usize> {
+        let mut n = 0;
+        for b in &self.program.inputs {
+            let facts = registry.load(b)?;
+            n += db.add_facts(&b.predicate, facts)?;
+        }
+        Ok(n)
+    }
+
+    /// Run the chase to fixpoint over `db`.
+    pub fn run(&self, db: &mut FactDb) -> Result<RunStats> {
+        let mut stats = RunStats::default();
+        for f in &self.program.facts {
+            let tuple: Vec<Value> = f
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => v.clone(),
+                    Term::Var(_) => unreachable!("facts are ground"),
+                })
+                .collect();
+            db.insert(&f.predicate, tuple)?;
+        }
+
+        let null_gen = OidGen::new(OidSpace::Null);
+        let mut nulls: FxHashMap<(usize, Var, Vec<Value>), Oid> = FxHashMap::default();
+        let mut mono: FxHashMap<(usize, Vec<Value>), MonoState> = FxHashMap::default();
+
+        let strata = self.analysis.stratification.count;
+        stats.strata = strata;
+        for s in 0..strata {
+            // 1. Exact aggregate rules of this stratum (body is complete).
+            for (ri, rule) in self.program.rules.iter().enumerate() {
+                if self.meta[ri].stratum != s {
+                    continue;
+                }
+                if self.meta[ri].agg_mode == Some(AggMode::Exact) {
+                    let new_facts =
+                        self.eval_exact_agg_rule(db, ri, rule, &null_gen, &mut nulls)?;
+                    for (pred, tuple) in new_facts {
+                        if db.insert(&pred, tuple)? {
+                            stats.derived_facts += 1;
+                        }
+                    }
+                }
+            }
+            // 2. Semi-naive fixpoint over the remaining rules of the stratum.
+            let rules: Vec<usize> = (0..self.program.rules.len())
+                .filter(|&ri| {
+                    self.meta[ri].stratum == s && self.meta[ri].agg_mode != Some(AggMode::Exact)
+                })
+                .collect();
+            if rules.is_empty() {
+                continue;
+            }
+            // Delta bookkeeping: predicate → length before this iteration.
+            let mut watermark: FxHashMap<String, usize> = FxHashMap::default();
+            let mut first = true;
+            for _iter in 0..self.config.max_iterations {
+                stats.iterations += 1;
+                let mut out: Vec<(String, Vec<Value>)> = Vec::new();
+                for &ri in &rules {
+                    let rule = &self.program.rules[ri];
+                    if first {
+                        self.eval_rule(
+                            db, ri, rule, None, &null_gen, &mut nulls, &mut mono, &mut out,
+                        )?;
+                    } else {
+                        // Delta-restricted runs: one per body atom whose
+                        // predicate changed in the previous iteration.
+                        for (ai, atom) in rule.body.iter().enumerate() {
+                            let prev = watermark.get(&atom.predicate).copied().unwrap_or(0);
+                            let cur = db.len(&atom.predicate);
+                            if cur > prev {
+                                self.eval_rule(
+                                    db,
+                                    ri,
+                                    rule,
+                                    Some((ai, prev..cur)),
+                                    &null_gen,
+                                    &mut nulls,
+                                    &mut mono,
+                                    &mut out,
+                                )?;
+                            }
+                        }
+                    }
+                }
+                // Advance watermarks to the lengths *before* inserting the
+                // new facts, so the next iteration's deltas cover them.
+                let mut preds: FxHashSet<&String> = FxHashSet::default();
+                for &ri in &rules {
+                    for a in &self.program.rules[ri].body {
+                        preds.insert(&a.predicate);
+                    }
+                }
+                for p in preds {
+                    watermark.insert(p.clone(), db.len(p));
+                }
+                let mut inserted = 0usize;
+                for (pred, tuple) in out {
+                    if db.insert(&pred, tuple)? {
+                        inserted += 1;
+                    }
+                }
+                stats.derived_facts += inserted;
+                if db.total_facts() > self.config.max_facts {
+                    return Err(KgmError::ResourceExhausted(format!(
+                        "fact cap exceeded ({} facts)",
+                        db.total_facts()
+                    )));
+                }
+                if inserted == 0 && !first {
+                    break;
+                }
+                if inserted == 0 && first {
+                    break;
+                }
+                first = false;
+            }
+        }
+        stats.nulls_created = null_gen.count() as usize;
+        Ok(stats)
+    }
+
+    /// Convenience: run over the given input facts and return the database.
+    pub fn run_with_facts(
+        &self,
+        inputs: &[(&str, Vec<Vec<Value>>)],
+    ) -> Result<(FactDb, RunStats)> {
+        let mut db = FactDb::new();
+        for (pred, tuples) in inputs {
+            db.add_facts(pred, tuples.clone())?;
+        }
+        let stats = self.run(&mut db)?;
+        Ok((db, stats))
+    }
+
+    // -----------------------------------------------------------------
+    // Rule evaluation
+    // -----------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_rule(
+        &self,
+        db: &FactDb,
+        ri: usize,
+        rule: &Rule,
+        delta: Option<(usize, Range<usize>)>,
+        null_gen: &OidGen,
+        nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
+        mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
+        out: &mut Vec<(String, Vec<Value>)>,
+    ) -> Result<()> {
+        let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+        let order = join_order(rule, delta.as_ref().map(|(ai, _)| *ai));
+        self.join(
+            db,
+            rule,
+            &order,
+            0,
+            &delta,
+            &mut binding,
+            &mut |binding| self.fire(db, ri, rule, binding, null_gen, nulls, mono, out),
+        )
+    }
+
+    /// Join body atoms in `order[pos..]`, invoking `on_match` on full
+    /// matches. Starting the order at the delta atom is what makes the
+    /// semi-naive evaluation actually incremental: all other atoms then
+    /// join through bound variables instead of rescanning their relations.
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        &self,
+        db: &FactDb,
+        rule: &Rule,
+        order: &[usize],
+        pos: usize,
+        delta: &Option<(usize, Range<usize>)>,
+        binding: &mut Vec<Option<Value>>,
+        on_match: &mut dyn FnMut(&mut Vec<Option<Value>>) -> Result<()>,
+    ) -> Result<()> {
+        if pos == order.len() {
+            return on_match(binding);
+        }
+        let idx = order[pos];
+        let atom = &rule.body[idx];
+        let Some(rel) = db.rels.get(&atom.predicate) else {
+            return Ok(());
+        };
+        if rel.arity != atom.terms.len() {
+            return Err(KgmError::Schema(format!(
+                "atom `{}` has arity {}, relation has {}",
+                atom.predicate,
+                atom.terms.len(),
+                rel.arity
+            )));
+        }
+        // Bound positions form the index key.
+        let mut positions: Vec<usize> = Vec::new();
+        let mut key: Vec<Value> = Vec::new();
+        for (i, t) in atom.terms.iter().enumerate() {
+            match t {
+                Term::Const(v) => {
+                    positions.push(i);
+                    key.push(v.clone());
+                }
+                Term::Var(v) => {
+                    if let Some(val) = &binding[v.0 as usize] {
+                        positions.push(i);
+                        key.push(val.clone());
+                    }
+                }
+            }
+        }
+        let range = match delta {
+            Some((ai, r)) if *ai == idx => r.clone(),
+            _ => 0..rel.tuples.len(),
+        };
+        let candidates = rel.lookup(&positions, &key, &range);
+        for ci in candidates {
+            let tuple = &rel.tuples[ci as usize];
+            // Extend the binding with unbound variables; repeated unbound
+            // variables within the atom must agree.
+            let mut assigned: Vec<Var> = Vec::new();
+            let mut ok = true;
+            for (i, t) in atom.terms.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    match &binding[v.0 as usize] {
+                        Some(val) => {
+                            if *val != tuple[i] {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            binding[v.0 as usize] = Some(tuple[i].clone());
+                            assigned.push(*v);
+                        }
+                    }
+                }
+            }
+            if ok {
+                self.join(db, rule, order, pos + 1, delta, binding, on_match)?;
+            }
+            for v in assigned {
+                binding[v.0 as usize] = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Process steps and emit heads for one complete body match.
+    #[allow(clippy::too_many_arguments, clippy::ptr_arg)]
+    fn fire(
+        &self,
+        db: &FactDb,
+        ri: usize,
+        rule: &Rule,
+        binding: &mut Vec<Option<Value>>,
+        null_gen: &OidGen,
+        nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
+        mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
+        out: &mut Vec<(String, Vec<Value>)>,
+    ) -> Result<()> {
+        let ctx = EvalCtx {
+            skolems: &self.skolems,
+        };
+        // Variables assigned by steps must be undone before returning so
+        // sibling matches start clean.
+        let mut assigned: Vec<Var> = Vec::new();
+        let result = (|| -> Result<bool> {
+            for step in &rule.steps {
+                match step {
+                    RuleStep::Condition(e) => {
+                        match eval(e, binding, &ctx)? {
+                            Value::Bool(true) => {}
+                            Value::Bool(false) => return Ok(false),
+                            other => {
+                                return Err(KgmError::Type(format!(
+                                    "condition evaluated to non-bool {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    RuleStep::Assign(v, e) => {
+                        let val = eval(e, binding, &ctx)?;
+                        binding[v.0 as usize] = Some(val);
+                        assigned.push(*v);
+                    }
+                    RuleStep::Negated(a) => {
+                        let tuple: Vec<Value> = a
+                            .terms
+                            .iter()
+                            .map(|t| match t {
+                                Term::Const(v) => v.clone(),
+                                Term::Var(v) => binding[v.0 as usize]
+                                    .clone()
+                                    .expect("safety-checked bound"),
+                            })
+                            .collect();
+                        if db.contains(&a.predicate, &tuple) {
+                            return Ok(false);
+                        }
+                    }
+                    RuleStep::Aggregate(agg) => {
+                        // Only monotonic aggregates reach the fixpoint path.
+                        let func = match self.meta[ri].agg_mode {
+                            Some(AggMode::Monotonic(f)) => f,
+                            _ => {
+                                return Err(KgmError::Internal(
+                                    "exact aggregate in fixpoint path".to_string(),
+                                ))
+                            }
+                        };
+                        let group: Vec<Value> = self.meta[ri]
+                            .group_vars
+                            .iter()
+                            .map(|v| binding[v.0 as usize].clone().expect("bound"))
+                            .collect();
+                        let contrib_key: Vec<Value> = agg
+                            .contributors
+                            .iter()
+                            .map(|v| binding[v.0 as usize].clone().expect("bound"))
+                            .collect();
+                        let val = match &agg.arg {
+                            Some(e) => eval(e, binding, &ctx)?,
+                            None => Value::Int(1),
+                        };
+                        let state = mono.entry((ri, group)).or_insert_with(|| MonoState {
+                            contributors: FxHashMap::default(),
+                            current: initial_value(func),
+                        });
+                        if state.contributors.contains_key(&contrib_key) {
+                            // Idempotent re-contribution: nothing new.
+                            return Ok(false);
+                        }
+                        let updated = combine(func, &state.current, &val)?;
+                        let changed = updated != state.current;
+                        state.contributors.insert(contrib_key, val);
+                        state.current = updated.clone();
+                        if !changed {
+                            // The aggregate did not move; nothing new to emit.
+                            return Ok(false);
+                        }
+                        binding[agg.target.0 as usize] = Some(updated);
+                        assigned.push(agg.target);
+                    }
+                }
+            }
+            Ok(true)
+        })();
+
+        let emit = match result {
+            Ok(b) => b,
+            Err(e) => {
+                for v in &assigned {
+                    binding[v.0 as usize] = None;
+                }
+                return Err(e);
+            }
+        };
+        if emit {
+            self.emit_heads(ri, rule, binding, null_gen, nulls, out)?;
+        }
+        for v in assigned {
+            binding[v.0 as usize] = None;
+        }
+        Ok(())
+    }
+
+    fn emit_heads(
+        &self,
+        ri: usize,
+        rule: &Rule,
+        binding: &[Option<Value>],
+        null_gen: &OidGen,
+        nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
+        out: &mut Vec<(String, Vec<Value>)>,
+    ) -> Result<()> {
+        // Mint (or reuse) labelled nulls for the rule's existentials, keyed
+        // by the frontier values (Skolem chase).
+        let meta = &self.meta[ri];
+        let mut null_values: FxHashMap<Var, Value> = FxHashMap::default();
+        if !meta.existentials.is_empty() {
+            let frontier: Vec<Value> = meta
+                .frontier
+                .iter()
+                .map(|v| binding[v.0 as usize].clone().expect("frontier bound"))
+                .collect();
+            for &v in &meta.existentials {
+                let oid = *nulls
+                    .entry((ri, v, frontier.clone()))
+                    .or_insert_with(|| null_gen.fresh());
+                null_values.insert(v, Value::Oid(oid));
+            }
+        }
+        for h in &rule.head {
+            let tuple: Vec<Value> = h
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => v.clone(),
+                    Term::Var(v) => binding[v.0 as usize]
+                        .clone()
+                        .unwrap_or_else(|| null_values[v].clone()),
+                })
+                .collect();
+            out.push((h.predicate.clone(), tuple));
+        }
+        Ok(())
+    }
+
+    /// Evaluate one exact-aggregate rule: body relations are complete, so a
+    /// single pass collects contributions, grouping produces the final
+    /// values, and post-aggregate steps run once per group.
+    fn eval_exact_agg_rule(
+        &self,
+        db: &FactDb,
+        ri: usize,
+        rule: &Rule,
+        null_gen: &OidGen,
+        nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
+    ) -> Result<Vec<(String, Vec<Value>)>> {
+        let meta = &self.meta[ri];
+        let agg_step = meta.agg_step.expect("exact agg rule");
+        let agg = rule.aggregate().expect("exact agg rule").clone();
+        let func = agg.func;
+        let ctx = EvalCtx {
+            skolems: &self.skolems,
+        };
+
+        // Pass 1: collect (group, contributor, value) from all body matches,
+        // running pre-aggregate steps inline.
+        struct Group {
+            contributors: FxHashMap<Vec<Value>, Value>,
+            order: Vec<Vec<Value>>,
+        }
+        let mut groups: FxHashMap<Vec<Value>, Group> = FxHashMap::default();
+        let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+        let group_vars = meta.group_vars.clone();
+        let pre_steps = &rule.steps[..agg_step];
+        let order: Vec<usize> = (0..rule.body.len()).collect();
+        self.join(db, rule, &order, 0, &None, &mut binding, &mut |binding| {
+            let mut assigned: Vec<Var> = Vec::new();
+            let mut keep = true;
+            for step in pre_steps {
+                match step {
+                    RuleStep::Condition(e) => match eval(e, binding, &ctx)? {
+                        Value::Bool(true) => {}
+                        Value::Bool(false) => {
+                            keep = false;
+                            break;
+                        }
+                        other => {
+                            return Err(KgmError::Type(format!(
+                                "condition evaluated to non-bool {other:?}"
+                            )))
+                        }
+                    },
+                    RuleStep::Assign(v, e) => {
+                        let val = eval(e, binding, &ctx)?;
+                        binding[v.0 as usize] = Some(val);
+                        assigned.push(*v);
+                    }
+                    RuleStep::Negated(a) => {
+                        let tuple: Vec<Value> = a
+                            .terms
+                            .iter()
+                            .map(|t| match t {
+                                Term::Const(v) => v.clone(),
+                                Term::Var(v) => {
+                                    binding[v.0 as usize].clone().expect("bound")
+                                }
+                            })
+                            .collect();
+                        if db.contains(&a.predicate, &tuple) {
+                            keep = false;
+                            break;
+                        }
+                    }
+                    RuleStep::Aggregate(_) => unreachable!("pre-aggregate steps only"),
+                }
+            }
+            if keep {
+                let gk: Vec<Value> = group_vars
+                    .iter()
+                    .map(|v| binding[v.0 as usize].clone().expect("bound"))
+                    .collect();
+                // Contributor key: the ⟨z̄⟩ variables if given, otherwise the
+                // full binding of positive vars (every match contributes).
+                let ck: Vec<Value> = if agg.contributors.is_empty() {
+                    binding.iter().flatten().cloned().collect()
+                } else {
+                    agg.contributors
+                        .iter()
+                        .map(|v| binding[v.0 as usize].clone().expect("bound"))
+                        .collect()
+                };
+                let val = match &agg.arg {
+                    Some(e) => eval(e, binding, &ctx)?,
+                    None => Value::Int(1),
+                };
+                let g = groups.entry(gk).or_insert_with(|| Group {
+                    contributors: FxHashMap::default(),
+                    order: Vec::new(),
+                });
+                if !g.contributors.contains_key(&ck) {
+                    g.contributors.insert(ck.clone(), val);
+                    g.order.push(ck);
+                }
+            }
+            for v in assigned {
+                binding[v.0 as usize] = None;
+            }
+            Ok(())
+        })?;
+
+        // Pass 2: fold each group and run post-aggregate steps + heads.
+        let mut out = Vec::new();
+        for (gk, group) in groups {
+            let mut acc = initial_value(func);
+            let mut n = 0usize;
+            for ck in &group.order {
+                acc = combine(func, &acc, &group.contributors[ck])?;
+                n += 1;
+            }
+            if func == AggregateFunc::Avg && n > 0 {
+                acc = crate::eval::bin(
+                    crate::ast::BinOp::Div,
+                    &acc,
+                    &Value::Int(n as i64),
+                )?;
+            }
+            let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+            for (v, val) in group_vars.iter().zip(gk.iter()) {
+                binding[v.0 as usize] = Some(val.clone());
+            }
+            binding[agg.target.0 as usize] = Some(acc);
+            let mut keep = true;
+            for step in &rule.steps[agg_step + 1..] {
+                match step {
+                    RuleStep::Condition(e) => match eval(e, &binding, &ctx)? {
+                        Value::Bool(true) => {}
+                        Value::Bool(false) => {
+                            keep = false;
+                            break;
+                        }
+                        other => {
+                            return Err(KgmError::Type(format!(
+                                "condition evaluated to non-bool {other:?}"
+                            )))
+                        }
+                    },
+                    RuleStep::Assign(v, e) => {
+                        let val = eval(e, &binding, &ctx)?;
+                        binding[v.0 as usize] = Some(val);
+                    }
+                    RuleStep::Negated(a) => {
+                        let tuple: Vec<Value> = a
+                            .terms
+                            .iter()
+                            .map(|t| match t {
+                                Term::Const(v) => v.clone(),
+                                Term::Var(v) => {
+                                    binding[v.0 as usize].clone().expect("bound")
+                                }
+                            })
+                            .collect();
+                        if db.contains(&a.predicate, &tuple) {
+                            keep = false;
+                            break;
+                        }
+                    }
+                    RuleStep::Aggregate(_) => unreachable!("single aggregate"),
+                }
+            }
+            if keep {
+                self.emit_heads(ri, rule, &binding, null_gen, nulls, &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Choose the atom evaluation order: the delta atom (if any) first, then
+/// greedily the atom sharing the most already-bound variables (ties by
+/// written order). Constants count as bound.
+fn join_order(rule: &Rule, delta_atom: Option<usize>) -> Vec<usize> {
+    let n = rule.body.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut bound: FxHashSet<Var> = FxHashSet::default();
+    if let Some(ai) = delta_atom {
+        order.push(ai);
+        remaining.retain(|&x| x != ai);
+        bound.extend(rule.body[ai].vars());
+    }
+    while !remaining.is_empty() {
+        let (pick_pos, &pick) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, &a)| {
+                let shared = rule.body[a].vars().filter(|v| bound.contains(v)).count();
+                // Prefer more shared vars; tie-break towards written order
+                // (earlier atoms win, hence the negated index).
+                (shared, usize::MAX - *i)
+            })
+            .expect("non-empty");
+        order.push(pick);
+        remaining.remove(pick_pos);
+        bound.extend(rule.body[pick].vars());
+    }
+    order
+}
+
+fn initial_value(func: AggregateFunc) -> Value {
+    match func {
+        AggregateFunc::Sum | AggregateFunc::MSum | AggregateFunc::Avg => Value::Int(0),
+        AggregateFunc::Count | AggregateFunc::MCount => Value::Int(0),
+        AggregateFunc::Prod | AggregateFunc::MProd => Value::Int(1),
+        AggregateFunc::Min | AggregateFunc::MMin => Value::Float(f64::MAX),
+        AggregateFunc::Max | AggregateFunc::MMax => Value::Float(f64::MIN),
+    }
+}
+
+fn combine(func: AggregateFunc, acc: &Value, v: &Value) -> Result<Value> {
+    use crate::ast::BinOp;
+    use crate::eval::bin;
+    match func {
+        AggregateFunc::Sum | AggregateFunc::MSum | AggregateFunc::Avg => bin(BinOp::Add, acc, v),
+        AggregateFunc::Count | AggregateFunc::MCount => bin(BinOp::Add, acc, &Value::Int(1)),
+        AggregateFunc::Prod | AggregateFunc::MProd => bin(BinOp::Mul, acc, v),
+        AggregateFunc::Min | AggregateFunc::MMin => Ok(if v.total_cmp(acc).is_lt() {
+            v.clone()
+        } else {
+            acc.clone()
+        }),
+        AggregateFunc::Max | AggregateFunc::MMax => Ok(if v.total_cmp(acc).is_gt() {
+            v.clone()
+        } else {
+            acc.clone()
+        }),
+    }
+}
+
+impl std::fmt::Debug for FactDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut preds = self.predicates();
+        preds.truncate(16);
+        f.debug_struct("FactDb")
+            .field("total", &self.total)
+            .field("predicates", &preds)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn run(src: &str, inputs: &[(&str, Vec<Vec<Value>>)]) -> FactDb {
+        let engine = Engine::new(parse_program(src).unwrap()).unwrap();
+        let (db, _) = engine.run_with_facts(inputs).unwrap();
+        db
+    }
+
+    fn ints(rows: &[&[i64]]) -> Vec<Vec<Value>> {
+        rows.iter()
+            .map(|r| r.iter().map(|&i| Value::Int(i)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let db = run(
+            "edge(X,Y) -> path(X,Y). path(X,Y), edge(Y,Z) -> path(X,Z).",
+            &[("edge", ints(&[&[1, 2], &[2, 3], &[3, 4]]))],
+        );
+        assert_eq!(db.len("path"), 6); // 12 13 14 23 24 34
+        assert!(db.contains("path", &[Value::Int(1), Value::Int(4)]));
+        assert!(!db.contains("path", &[Value::Int(4), Value::Int(1)]));
+    }
+
+    #[test]
+    fn transitive_closure_with_cycle_terminates() {
+        let db = run(
+            "edge(X,Y) -> path(X,Y). path(X,Y), edge(Y,Z) -> path(X,Z).",
+            &[("edge", ints(&[&[1, 2], &[2, 1]]))],
+        );
+        assert_eq!(db.len("path"), 4); // 11 12 21 22
+    }
+
+    #[test]
+    fn facts_in_program_text() {
+        let db = run("p(1). p(2). p(X) -> q(X).", &[]);
+        assert_eq!(db.len("q"), 2);
+    }
+
+    #[test]
+    fn conditions_filter() {
+        let db = run(
+            "n(X), X > 2 -> big(X).",
+            &[("n", ints(&[&[1], &[2], &[3], &[4]]))],
+        );
+        assert_eq!(db.len("big"), 2);
+    }
+
+    #[test]
+    fn assignments_compute() {
+        let db = run(
+            "n(X), Y = X * X + 1 -> sq(X, Y).",
+            &[("n", ints(&[&[3]]))],
+        );
+        assert_eq!(db.facts("sq"), vec![vec![Value::Int(3), Value::Int(10)]]);
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let db = run(
+            "a(X) -> b(X).
+             c(X), not b(X) -> only_c(X).",
+            &[("a", ints(&[&[1]])), ("c", ints(&[&[1], &[2]]))],
+        );
+        assert_eq!(db.facts("only_c"), vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn existential_creates_reusable_null() {
+        let engine =
+            Engine::new(parse_program("b(X) -> c(X, N). b(X) -> d(X, N).").unwrap()).unwrap();
+        let (db, stats) = engine
+            .run_with_facts(&[("b", ints(&[&[1], &[2]]))])
+            .unwrap();
+        assert_eq!(db.len("c"), 2);
+        assert_eq!(db.len("d"), 2);
+        // Each rule/var/frontier gets its own null: 2 facts × 2 rules.
+        assert_eq!(stats.nulls_created, 4);
+        let c = db.facts("c");
+        assert!(c.iter().all(|t| t[1].is_labelled_null()));
+        // Re-running derivations does not mint more nulls (Skolem chase):
+        // the fixpoint already reached stability, so nulls == 4 not more.
+    }
+
+    #[test]
+    fn skolem_chase_does_not_loop_on_guarded_recursion() {
+        // person(X) -> parent(X, Y). parent(X, Y) -> person(Y).
+        // The restricted chase would terminate; the Skolem chase generates a
+        // chain — the fact cap must stop it, proving the cap works.
+        let engine = Engine::with_config(
+            parse_program("person(X) -> parent(X, Y). parent(X, Y) -> person(Y).").unwrap(),
+            EngineConfig {
+                max_facts: 1000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let err = engine
+            .run_with_facts(&[("person", ints(&[&[1]]))])
+            .unwrap_err();
+        assert!(matches!(err, KgmError::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn exact_count_aggregate() {
+        let db = run(
+            "holds(P, S), N = count(<P>) -> stakeholders(S, N).",
+            &[(
+                "holds",
+                ints(&[&[1, 10], &[2, 10], &[3, 10], &[1, 20]]),
+            )],
+        );
+        let mut facts = db.facts("stakeholders");
+        facts.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(
+            facts,
+            vec![
+                vec![Value::Int(10), Value::Int(3)],
+                vec![Value::Int(20), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn exact_sum_with_duplicate_contributors_counts_once() {
+        // Two `holds` rows with the same contributor key P share one
+        // contribution (first wins), like the paper's sum over ⟨z⟩.
+        let engine = Engine::new(
+            parse_program("holds(P, S, W), V = sum(W, <P>) -> total(S, V).").unwrap(),
+        )
+        .unwrap();
+        let (db, _) = engine
+            .run_with_facts(&[(
+                "holds",
+                vec![
+                    vec![Value::Int(1), Value::Int(10), Value::Float(0.4)],
+                    vec![Value::Int(1), Value::Int(10), Value::Float(0.4)],
+                    vec![Value::Int(2), Value::Int(10), Value::Float(0.3)],
+                ],
+            )])
+            .unwrap();
+        let facts = db.facts("total");
+        assert_eq!(facts.len(), 1);
+        assert_eq!(facts[0][1], Value::Float(0.7));
+    }
+
+    #[test]
+    fn company_control_example_4_2() {
+        // The running example of the paper. Ownership:
+        //   a owns 60% of b; a owns 30% of c; b owns 30% of c.
+        // a controls b directly; a controls c jointly through b (30+30 > 50).
+        let src = r#"
+            company(X) -> controls(X, X).
+            controls(X, Z), own(Z, Y, W), V = msum(W, <Z>), V > 0.5
+                -> controls(X, Y).
+            "#;
+        let companies = ints(&[&[1], &[2], &[3]]);
+        let own = vec![
+            vec![Value::Int(1), Value::Int(2), Value::Float(0.6)],
+            vec![Value::Int(1), Value::Int(3), Value::Float(0.3)],
+            vec![Value::Int(2), Value::Int(3), Value::Float(0.3)],
+        ];
+        let db = run(src, &[("company", companies), ("own", own)]);
+        let controls: FxHashSet<(i64, i64)> = db
+            .facts("controls")
+            .into_iter()
+            .map(|t| (t[0].as_i64().unwrap(), t[1].as_i64().unwrap()))
+            .collect();
+        assert!(controls.contains(&(1, 2)), "direct majority");
+        assert!(controls.contains(&(1, 3)), "joint control via subsidiary");
+        assert!(!controls.contains(&(2, 3)), "b alone holds only 30%");
+        assert!(!controls.contains(&(3, 2)));
+    }
+
+    #[test]
+    fn control_does_not_double_count_same_contributor() {
+        // x controls z; z owns 30% of y via two ownership facts with the
+        // same contributor z — only one contribution may count, so no
+        // control edge.
+        let src = r#"
+            company(X) -> controls(X, X).
+            controls(X, Z), own(Z, Y, W), V = msum(W, <Z>), V > 0.5
+                -> controls(X, Y).
+            "#;
+        let db = run(
+            src,
+            &[
+                ("company", ints(&[&[1], &[2]])),
+                (
+                    "own",
+                    vec![
+                        vec![Value::Int(1), Value::Int(2), Value::Float(0.3)],
+                        // duplicate fact is deduped at the fact level anyway;
+                        // a *different* weight with same contributor must not
+                        // stack either:
+                        vec![Value::Int(1), Value::Int(2), Value::Float(0.25)],
+                    ],
+                ),
+            ],
+        );
+        let controls: FxHashSet<(i64, i64)> = db
+            .facts("controls")
+            .into_iter()
+            .map(|t| (t[0].as_i64().unwrap(), t[1].as_i64().unwrap()))
+            .collect();
+        assert!(
+            !controls.contains(&(1, 2)),
+            "two facts for the same (owner, owned) pair must contribute once"
+        );
+    }
+
+    #[test]
+    fn multi_head_rules_emit_all_heads() {
+        let db = run("a(X) -> b(X), c(X, X).", &[("a", ints(&[&[5]]))]);
+        assert_eq!(db.len("b"), 1);
+        assert_eq!(db.facts("c"), vec![vec![Value::Int(5), Value::Int(5)]]);
+    }
+
+    #[test]
+    fn skolem_links_across_rules() {
+        // Two rules using the same linker functor on the same argument must
+        // produce the same OID (Section 4: deterministic linker functors).
+        let src = r#"
+            a(X), N = skolem("skN", X) -> left(X, N).
+            a(X), N = skolem("skN", X) -> right(X, N).
+            "#;
+        let db = run(src, &[("a", ints(&[&[7]]))]);
+        let l = db.facts("left")[0][1].clone();
+        let r = db.facts("right")[0][1].clone();
+        assert_eq!(l, r);
+        assert!(matches!(l, Value::Oid(o) if o.space() == OidSpace::Skolem));
+    }
+
+    #[test]
+    fn non_warded_program_is_refused_by_default() {
+        let p = parse_program(
+            "p(X) -> q(X, N).
+             q(X, N), q(Y, N) -> r(N).",
+        )
+        .unwrap();
+        assert!(Engine::new(p.clone()).is_err());
+        // …but can be forced.
+        let engine = Engine::with_config(
+            p,
+            EngineConfig {
+                require_warded: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (db, _) = engine.run_with_facts(&[("p", ints(&[&[1]]))]).unwrap();
+        assert_eq!(db.len("r"), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let engine = Engine::new(parse_program("p(X, Y) -> q(X).").unwrap()).unwrap();
+        let err = engine.run_with_facts(&[("p", ints(&[&[1]]))]).unwrap_err();
+        assert!(matches!(err, KgmError::Schema(_)));
+    }
+
+    #[test]
+    fn repeated_variable_in_atom_filters() {
+        let db = run(
+            "e(X, X) -> loops(X).",
+            &[("e", ints(&[&[1, 1], &[1, 2], &[3, 3]]))],
+        );
+        assert_eq!(db.len("loops"), 2);
+    }
+
+    #[test]
+    fn run_stats_are_reported() {
+        let engine = Engine::new(
+            parse_program("edge(X,Y) -> path(X,Y). path(X,Y), edge(Y,Z) -> path(X,Z).").unwrap(),
+        )
+        .unwrap();
+        let (_, stats) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2], &[2, 3]]))])
+            .unwrap();
+        assert!(stats.iterations >= 2);
+        assert_eq!(stats.derived_facts, 3);
+        assert_eq!(stats.strata, 1);
+    }
+
+    #[test]
+    fn exact_min_max_avg() {
+        let db = run(
+            "v(G, X), M = min(X, <X>) -> lo(G, M).
+             v(G, X), M = max(X, <X>) -> hi(G, M).
+             v(G, X), M = avg(X, <X>) -> mean(G, M).",
+            &[("v", ints(&[&[1, 10], &[1, 20], &[1, 30]]))],
+        );
+        assert_eq!(db.facts("lo")[0][1], Value::Int(10));
+        assert_eq!(db.facts("hi")[0][1], Value::Int(30));
+        assert_eq!(db.facts("mean")[0][1], Value::Float(20.0));
+    }
+}

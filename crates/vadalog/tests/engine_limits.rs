@@ -1,0 +1,172 @@
+//! Engine configuration, annotation loading and bookkeeping tests that
+//! exercise the public API end to end (complementing the in-module unit
+//! tests).
+
+use kgm_common::{KgmError, Value};
+use kgm_pgstore::PropertyGraph;
+use kgm_vadalog::{
+    parse_program, to_source, Engine, EngineConfig, FactDb, SourceRegistry,
+};
+use std::sync::Arc;
+
+fn ints(rows: &[&[i64]]) -> Vec<Vec<Value>> {
+    rows.iter()
+        .map(|r| r.iter().map(|&i| Value::Int(i)).collect())
+        .collect()
+}
+
+#[test]
+fn max_iterations_cap_stops_long_chains() {
+    // A chain of length 1000 needs ~1000 iterations to close transitively;
+    // capping at 5 leaves the closure incomplete but terminates cleanly.
+    let program = parse_program(
+        "edge(X,Y) -> path(X,Y). path(X,Y), edge(Y,Z) -> path(X,Z).",
+    )
+    .unwrap();
+    let engine = Engine::with_config(
+        program,
+        EngineConfig {
+            max_iterations: 5,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let edges: Vec<Vec<Value>> = (0..200i64)
+        .map(|i| vec![Value::Int(i), Value::Int(i + 1)])
+        .collect();
+    let mut db = FactDb::new();
+    db.add_facts("edge", edges).unwrap();
+    let stats = engine.run(&mut db).unwrap();
+    assert_eq!(stats.iterations, 5);
+    // Paths of length ≤ ~6 exist; the full closure (20100 pairs) does not.
+    assert!(db.len("path") < 20_100);
+    assert!(db.contains("path", &[Value::Int(0), Value::Int(1)]));
+}
+
+#[test]
+fn fact_cap_reports_resource_exhaustion() {
+    let program = parse_program(
+        "edge(X,Y) -> path(X,Y). path(X,Y), edge(Y,Z) -> path(X,Z).",
+    )
+    .unwrap();
+    let engine = Engine::with_config(
+        program,
+        EngineConfig {
+            max_facts: 50,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let edges: Vec<Vec<Value>> = (0..40i64)
+        .map(|i| vec![Value::Int(i), Value::Int(i + 1)])
+        .collect();
+    let mut db = FactDb::new();
+    db.add_facts("edge", edges).unwrap();
+    let err = engine.run(&mut db).unwrap_err();
+    assert!(matches!(err, KgmError::ResourceExhausted(_)));
+}
+
+#[test]
+fn annotation_driven_inputs_load_from_a_registered_graph() {
+    // The Example 4.2/4.4 mechanics end to end: a program whose inputs are
+    // declared as @input annotations against a named graph.
+    let src = r#"
+        company(C, _) -> controls(C, C).
+        controls(X, Z), own(_, Z, Y, W), V = msum(W, <Z>), V > 0.5
+            -> controls(X, Y).
+        @input(company, nodes, "kg", "Company", "name").
+        @input(own, edges, "kg", "OWNS", "percentage").
+        @output(controls).
+    "#;
+    let program = parse_program(src).unwrap();
+    let engine = Engine::new(program).unwrap();
+
+    let mut g = PropertyGraph::new();
+    let a = g
+        .add_node(["Company"], vec![("name".to_string(), Value::str("a"))])
+        .unwrap();
+    let b = g
+        .add_node(["Company"], vec![("name".to_string(), Value::str("b"))])
+        .unwrap();
+    g.add_edge(a, b, "OWNS", vec![("percentage".to_string(), Value::Float(0.9))])
+        .unwrap();
+    let (ao, bo) = (g.node_oid(a), g.node_oid(b));
+
+    let mut registry = SourceRegistry::new();
+    registry.add_graph("kg", Arc::new(g));
+    let mut db = FactDb::new();
+    let loaded = engine.load_inputs(&registry, &mut db).unwrap();
+    assert_eq!(loaded, 3, "2 companies + 1 ownership fact");
+    engine.run(&mut db).unwrap();
+    assert!(db.contains("controls", &[Value::Oid(ao), Value::Oid(bo)]));
+}
+
+#[test]
+fn facts_after_separates_input_from_derived() {
+    let program = parse_program("a(X) -> b(X). b(X) -> a(X).").unwrap();
+    let engine = Engine::new(program).unwrap();
+    let mut db = FactDb::new();
+    db.add_facts("a", ints(&[&[1], &[2]])).unwrap();
+    db.add_facts("b", ints(&[&[9]])).unwrap();
+    let a_mark = db.len("a");
+    let b_mark = db.len("b");
+    engine.run(&mut db).unwrap();
+    // Derived: b gains 1,2; a gains 9.
+    let new_b = db.facts_after("b", b_mark);
+    assert_eq!(new_b.len(), 2);
+    let new_a = db.facts_after("a", a_mark);
+    assert_eq!(new_a, vec![vec![Value::Int(9)]]);
+    // Past-the-end start yields nothing; unknown predicates yield nothing.
+    assert!(db.facts_after("b", 1000).is_empty());
+    assert!(db.facts_after("zzz", 0).is_empty());
+}
+
+#[test]
+fn printed_program_runs_identically() {
+    // to_source → parse → run must agree with the original run.
+    let src = r#"
+        n(1). n(2). n(3). n(4).
+        n(X), X mod 2 == 0 -> even(X).
+        n(X), not even(X) -> odd(X).
+        even(X), S = sum(X, <X>) -> total(S).
+    "#;
+    let p1 = parse_program(src).unwrap();
+    let (printed, parseable) = to_source(&p1);
+    assert!(parseable);
+    let p2 = parse_program(&printed).unwrap();
+    let run = |p| {
+        let engine = Engine::new(p).unwrap();
+        let mut db = FactDb::new();
+        engine.run(&mut db).unwrap();
+        (db.facts("even"), db.facts("odd"), db.facts("total"))
+    };
+    assert_eq!(run(p1), run(p2));
+}
+
+#[test]
+fn multiple_strata_execute_in_order() {
+    // Three strata: base → negation → aggregation over the negation result.
+    let src = r#"
+        item(1). item(2). item(3). flagged(2).
+        item(X), not flagged(X) -> clean(X).
+        clean(X), N = count(<X>) -> clean_count(N).
+    "#;
+    let engine = Engine::new(parse_program(src).unwrap()).unwrap();
+    let mut db = FactDb::new();
+    let stats = engine.run(&mut db).unwrap();
+    assert!(stats.strata >= 3, "strata = {}", stats.strata);
+    assert_eq!(db.facts("clean_count"), vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn missing_registry_source_is_a_clean_error() {
+    let program =
+        parse_program(r#"@input(p, table, "nowhere", "t"). p(X) -> q(X)."#).unwrap();
+    let engine = Engine::new(program).unwrap();
+    let registry = SourceRegistry::new();
+    let mut db = FactDb::new();
+    assert!(matches!(
+        engine.load_inputs(&registry, &mut db),
+        Err(KgmError::NotFound(_))
+    ));
+}

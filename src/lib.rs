@@ -1,0 +1,31 @@
+//! # KGModel
+//!
+//! A model-independent design framework for Knowledge Graphs, reproducing
+//! *“Model-Independent Design of Knowledge Graphs — Lessons Learnt From
+//! Complex Financial Graphs”* (EDBT 2022).
+//!
+//! This facade crate re-exports every subsystem of the workspace:
+//!
+//! - [`common`] — OIDs, values, Skolem functors, hashing.
+//! - [`pgstore`] — the property-graph database substrate and graph algorithms.
+//! - [`relstore`] — the relational database substrate.
+//! - [`triplestore`] — the triple-store substrate and RDF-S emission.
+//! - [`vadalog`] — the Warded Datalog± reasoner.
+//! - [`metalog`] — the MetaLog language and the MTV compiler to Vadalog.
+//! - [`core`] — the KGModel framework itself: meta-model, super-model,
+//!   dictionaries, GSL, SSST (Algorithm 1), intensional materialization
+//!   (Algorithm 2).
+//! - [`finance`] — the Bank-of-Italy-style Company KG: schema, synthetic
+//!   registry generator, and the control / integrated-ownership / close-links
+//!   intensional components with independent baselines.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use kgm_common as common;
+pub use kgm_core as core;
+pub use kgm_finance as finance;
+pub use kgm_metalog as metalog;
+pub use kgm_pgstore as pgstore;
+pub use kgm_relstore as relstore;
+pub use kgm_triplestore as triplestore;
+pub use kgm_vadalog as vadalog;
