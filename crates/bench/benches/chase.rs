@@ -3,7 +3,8 @@
 //! skeleton of every compiled `*` pattern) and monotonic-aggregate
 //! recursion (the Example 4.2 control rule).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgm_runtime::bench::{BenchmarkId, Criterion};
+use kgm_runtime::{bench_group, bench_main};
 use kgm_common::Value;
 use kgm_vadalog::{parse_program, Engine, FactDb};
 use std::hint::black_box;
@@ -70,10 +71,10 @@ fn bench_existential_chase(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_transitive_closure,
     bench_control_msum,
     bench_existential_chase
 );
-criterion_main!(benches);
+bench_main!(benches);

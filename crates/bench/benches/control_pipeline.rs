@@ -2,7 +2,8 @@
 //! Algorithm 2 pipeline vs the direct Vadalog program vs the native
 //! baseline, and the §6 staging ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgm_runtime::bench::{BenchmarkId, Criterion};
+use kgm_runtime::{bench_group, bench_main};
 use kgm_bench::bench_graph;
 use kgm_core::intensional::{materialize, MaterializationMode};
 use kgm_finance::control::{baseline_control, control_vadalog, CONTROL_METALOG};
@@ -67,5 +68,5 @@ fn bench_staging(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_paths, bench_staging);
-criterion_main!(benches);
+bench_group!(benches, bench_pipeline, bench_paths, bench_staging);
+bench_main!(benches);

@@ -1,7 +1,8 @@
 //! E1 benchmarks: generating the synthetic shareholding graph and computing
 //! each §2.1 topology statistic.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgm_runtime::bench::{BenchmarkId, Criterion};
+use kgm_runtime::{bench_group, bench_main};
 use kgm_finance::generator::{generate_shareholding, ShareholdingConfig};
 use kgm_pgstore::algo::{
     average_clustering_coefficient, strongly_connected_components,
@@ -52,10 +53,10 @@ fn bench_clustering_and_full_stats(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_generator,
     bench_components,
     bench_clustering_and_full_stats
 );
-criterion_main!(benches);
+bench_main!(benches);

@@ -2,7 +2,8 @@
 //! Example 4.1 control program and the Example 4.3 star pattern), plus the
 //! DESCFROM end-to-end run over generalization chains of growing depth.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgm_runtime::bench::{BenchmarkId, Criterion};
+use kgm_runtime::{bench_group, bench_main};
 use kgm_common::Value;
 use kgm_metalog::{parse_metalog, translate, PgSchema};
 use kgm_vadalog::{Engine, FactDb};
@@ -89,5 +90,5 @@ fn bench_descfrom_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_descfrom_run);
-criterion_main!(benches);
+bench_group!(benches, bench_compile, bench_descfrom_run);
+bench_main!(benches);

@@ -2,7 +2,8 @@
 //! models, every implementation strategy, and the MetaLog-driven path of
 //! Examples 5.1/5.2.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kgm_runtime::bench::Criterion;
+use kgm_runtime::{bench_group, bench_main};
 use kgm_core::sst::{
     translate_to_pg, translate_to_relational, PgGeneralizationStrategy,
     RelGeneralizationStrategy,
@@ -57,5 +58,5 @@ fn bench_metalog_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_native, bench_metalog_path);
-criterion_main!(benches);
+bench_group!(benches, bench_native, bench_metalog_path);
+bench_main!(benches);

@@ -6,7 +6,7 @@
 //! oft-instantiated types (see the type-size guidance of the Rust perf book).
 
 use crate::hash::FxHashMap;
-use parking_lot::RwLock;
+use kgm_runtime::sync::RwLock;
 use std::fmt;
 use std::sync::Arc;
 

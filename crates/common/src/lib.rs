@@ -12,6 +12,7 @@
 //! (Section 4), both of which live in identifier spaces disjoint from ground
 //! OIDs.
 
+pub mod codec;
 pub mod error;
 pub mod hash;
 pub mod interner;
@@ -19,6 +20,7 @@ pub mod oid;
 pub mod skolem;
 pub mod value;
 
+pub use codec::CodecError;
 pub use error::{KgmError, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use interner::{Interner, Symbol};

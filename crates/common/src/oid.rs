@@ -10,7 +10,7 @@
 //! We realize the disjointness by tagging the two most significant bits of a
 //! 64-bit identifier with an [`OidSpace`].
 
-use serde::{Deserialize, Serialize};
+use crate::codec::CodecError;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// The paper's three disjoint symbol pools: ground constants/objects (`C`),
 /// labelled nulls (`N`), and linker-Skolem values (`I`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OidSpace {
     /// Ground objects loaded from or created in a store.
     Ground,
@@ -32,7 +32,7 @@ const SPACE_SHIFT: u32 = 62;
 const PAYLOAD_MASK: u64 = (1 << SPACE_SHIFT) - 1;
 
 /// A 64-bit object identifier: 2 tag bits for the [`OidSpace`], 62 payload bits.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Oid(u64);
 
 impl Oid {
@@ -86,6 +86,37 @@ impl Oid {
     /// True if this OID denotes a labelled null (an "unknown" object).
     pub fn is_null(self) -> bool {
         self.space() == OidSpace::Null
+    }
+
+    /// Compact ASCII encoding: a space letter (`G`/`N`/`K`) followed by the
+    /// decimal payload, e.g. `G7`, `N12`, `K3`. Round-trips through
+    /// [`Oid::from_text`].
+    pub fn to_text(self) -> String {
+        let tag = match self.space() {
+            OidSpace::Ground => 'G',
+            OidSpace::Null => 'N',
+            OidSpace::Skolem => 'K',
+        };
+        format!("{tag}{}", self.payload())
+    }
+
+    /// Parse the [`Oid::to_text`] encoding.
+    pub fn from_text(text: &str) -> Result<Oid, CodecError> {
+        let mut chars = text.chars();
+        let space = match chars.next() {
+            Some('G') => OidSpace::Ground,
+            Some('N') => OidSpace::Null,
+            Some('K') => OidSpace::Skolem,
+            _ => return Err(CodecError::new(format!("bad OID space tag in {text:?}"))),
+        };
+        let payload: u64 = chars
+            .as_str()
+            .parse()
+            .map_err(|_| CodecError::new(format!("bad OID payload in {text:?}")))?;
+        if payload > PAYLOAD_MASK {
+            return Err(CodecError::new(format!("OID payload overflow in {text:?}")));
+        }
+        Ok(Oid::new(space, payload))
     }
 }
 
@@ -186,6 +217,27 @@ mod tests {
         assert_eq!(format!("{:?}", Oid::ground(3)), "#3");
         assert_eq!(format!("{:?}", Oid::new(OidSpace::Null, 3)), "ν3");
         assert_eq!(format!("{:?}", Oid::new(OidSpace::Skolem, 3)), "σ3");
+    }
+
+    #[test]
+    fn text_codec_round_trips_every_space() {
+        for space in [OidSpace::Ground, OidSpace::Null, OidSpace::Skolem] {
+            for payload in [0u64, 1, 42, PAYLOAD_MASK] {
+                let o = Oid::new(space, payload);
+                assert_eq!(Oid::from_text(&o.to_text()).unwrap(), o);
+            }
+        }
+        assert_eq!(Oid::ground(7).to_text(), "G7");
+    }
+
+    #[test]
+    fn text_codec_rejects_malformed_input() {
+        assert!(Oid::from_text("").is_err());
+        assert!(Oid::from_text("X7").is_err());
+        assert!(Oid::from_text("G").is_err());
+        assert!(Oid::from_text("Gseven").is_err());
+        assert!(Oid::from_text("G-1").is_err());
+        assert!(Oid::from_text(&format!("G{}", u64::MAX)).is_err());
     }
 
     #[test]

@@ -5,15 +5,15 @@
 //! labelled nulls (`N`) and linker-Skolem values (`I`) can flow through rule
 //! evaluation as first-class terms.
 
+use crate::codec::{escape, unescape, CodecError};
 use crate::oid::Oid;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Scalar types usable as attribute/property/field domains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ValueType {
     /// Boolean.
     Bool,
@@ -62,7 +62,7 @@ impl ValueType {
 ///
 /// `Float` wraps its bits for `Eq`/`Hash` purposes (NaN never occurs in the
 /// engines: every arithmetic producer checks for it).
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub enum Value {
     /// Boolean constant.
     Bool(bool),
@@ -140,6 +140,51 @@ impl Value {
     /// True if this value is a labelled null.
     pub fn is_labelled_null(&self) -> bool {
         matches!(self, Value::Oid(o) if o.is_null())
+    }
+
+    /// Stable single-line text encoding: a type letter, a colon, then the
+    /// payload (`B:true`, `I:-3`, `F:0.5`, `S:<escaped>`, `D:18000`,
+    /// `O:G7`). Strings are escaped so the output never contains a newline
+    /// or a `|`, making values safe to embed in line/pipe-delimited records.
+    /// Floats use Rust's shortest round-trip formatting; infinities encode
+    /// as `inf`/`-inf` (NaN never occurs by construction).
+    pub fn to_text(&self) -> String {
+        match self {
+            Value::Bool(b) => format!("B:{b}"),
+            Value::Int(i) => format!("I:{i}"),
+            Value::Float(x) => format!("F:{x}"),
+            Value::Str(s) => format!("S:{}", escape(s)),
+            Value::Date(d) => format!("D:{d}"),
+            Value::Oid(o) => format!("O:{}", o.to_text()),
+        }
+    }
+
+    /// Parse the [`Value::to_text`] encoding.
+    pub fn from_text(text: &str) -> Result<Value, CodecError> {
+        let (tag, body) = text
+            .split_once(':')
+            .ok_or_else(|| CodecError::new(format!("missing type tag in {text:?}")))?;
+        let bad = |what: &str| CodecError::new(format!("bad {what} in {text:?}"));
+        match tag {
+            "B" => match body {
+                "true" => Ok(Value::Bool(true)),
+                "false" => Ok(Value::Bool(false)),
+                _ => Err(bad("bool")),
+            },
+            "I" => body.parse().map(Value::Int).map_err(|_| bad("int")),
+            "F" => {
+                let x: f64 = body.parse().map_err(|_| bad("float"))?;
+                if x.is_nan() {
+                    Err(bad("float (NaN is not a value)"))
+                } else {
+                    Ok(Value::Float(x))
+                }
+            }
+            "S" => Ok(Value::Str(Arc::from(unescape(body)?.as_str()))),
+            "D" => body.parse().map(Value::Date).map_err(|_| bad("date")),
+            "O" => Oid::from_text(body).map(Value::Oid),
+            _ => Err(bad("type tag")),
+        }
     }
 
     /// Total comparison used by conditions and ORDER-style operations.
@@ -353,6 +398,46 @@ mod tests {
     fn display_strings_are_unquoted() {
         assert_eq!(Value::str("abc").to_string(), "abc");
         assert_eq!(format!("{:?}", Value::str("abc")), "\"abc\"");
+    }
+
+    #[test]
+    fn text_codec_round_trips_every_variant() {
+        let vals = [
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(0.5),
+            Value::Float(-1.0e300),
+            Value::Float(f64::INFINITY),
+            Value::Float(1.0 / 3.0), // needs shortest-round-trip formatting
+            Value::str(""),
+            Value::str("plain"),
+            Value::str("pipe|newline\nback\\slash"),
+            Value::Date(18_000),
+            Value::Date(-15_000),
+            Value::Oid(Oid::ground(7)),
+            Value::Oid(Oid::new(OidSpace::Null, 3)),
+            Value::Oid(Oid::new(OidSpace::Skolem, 9)),
+        ];
+        for v in &vals {
+            let text = v.to_text();
+            assert!(!text.contains('\n') && !text.contains('|'), "{text:?}");
+            let back = Value::from_text(&text).unwrap();
+            // Bitwise identity, stricter than PartialEq's 1 == 1.0.
+            assert_eq!(back.value_type(), v.value_type(), "{text}");
+            assert_eq!(&back, v, "{text}");
+        }
+    }
+
+    #[test]
+    fn text_codec_rejects_malformed_input() {
+        for bad in [
+            "", "B", "B:yes", "I:1.5", "F:abc", "F:NaN", "D:x", "O:Z1", "Q:1", "S:\\q",
+        ] {
+            assert!(Value::from_text(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 
     #[test]

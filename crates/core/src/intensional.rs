@@ -748,7 +748,7 @@ fn flush(
     };
 
     // vo_node(I, ⟨SM_Node⟩): ensure the node exists.
-    for t in db.facts("vo_node") {
+    for t in db.facts_iter("vo_node") {
         let sm_oid = t[1]
             .as_oid()
             .ok_or_else(|| KgmError::Internal("vo_node without SM oid".into()))?;
@@ -756,12 +756,12 @@ fn flush(
     }
     // vo_nattr(I, ⟨SM_Attribute⟩, V): set known, non-null values.
     let mut node_of: FxHashMap<Value, NodeId> = FxHashMap::default();
-    for t in db.facts("vo_node") {
+    for t in db.facts_iter("vo_node") {
         let sm_oid = t[1].as_oid().expect("checked above");
         let n = resolve_new(data, &t[0], sm_oid, stats)?;
         node_of.insert(t[0].clone(), n);
     }
-    for t in db.facts("vo_nattr") {
+    for t in db.facts_iter("vo_nattr") {
         if t[2].is_labelled_null() {
             continue; // unknown / absent value
         }
@@ -791,7 +791,7 @@ fn flush(
         let (f, t) = data.edge_endpoints(e);
         existing.insert((data.edge_label(e), f, t));
     }
-    for t in db.facts("vo_edge") {
+    for t in db.facts_iter("vo_edge") {
         let sm_oid = t[3]
             .as_oid()
             .ok_or_else(|| KgmError::Internal("vo_edge without SM oid".into()))?;
@@ -822,7 +822,7 @@ fn flush(
         edge_of.insert(t[0].clone(), e);
         stats.new_edges += 1;
     }
-    for t in db.facts("vo_eattr") {
+    for t in db.facts_iter("vo_eattr") {
         if t[2].is_labelled_null() {
             continue;
         }

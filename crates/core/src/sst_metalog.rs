@@ -227,7 +227,7 @@ pub fn materialize_facts(
     let mut by_id: FxHashMap<Value, NodeId> = FxHashMap::default();
     for label in node_labels {
         let props = catalog.node_props(label)?.to_vec();
-        for fact in db.facts_after(label, start(label)) {
+        for fact in db.facts_after_iter(label, start(label)) {
             if fact.len() != props.len() + 1 {
                 return Err(KgmError::Internal(format!(
                     "{label} fact arity {} != {}",
@@ -258,7 +258,7 @@ pub fn materialize_facts(
     for label in edge_labels {
         let props = catalog.edge_props(label)?.to_vec();
         let mut seen: FxHashMap<(NodeId, NodeId), kgm_pgstore::EdgeId> = FxHashMap::default();
-        for fact in db.facts_after(label, start(label)) {
+        for fact in db.facts_after_iter(label, start(label)) {
             if fact.len() != props.len() + 3 {
                 return Err(KgmError::Internal(format!(
                     "{label} edge fact arity {} != {}",

@@ -66,7 +66,7 @@ pub fn control_vadalog(g: &PropertyGraph) -> Result<(FxHashSet<(u64, u64)>, RunS
     db.add_facts("own", own)?;
     let stats = engine.run(&mut db)?;
     let mut out = FxHashSet::default();
-    for t in db.facts("controls") {
+    for t in db.facts_iter("controls") {
         let (Some(a), Some(b)) = (t[0].as_oid(), t[1].as_oid()) else {
             continue;
         };

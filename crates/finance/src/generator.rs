@@ -24,8 +24,7 @@
 
 use kgm_common::{Result, Value};
 use kgm_pgstore::{NodeId, PropertyGraph};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kgm_runtime::Rng;
 
 /// Generator parameters.
 #[derive(Debug, Clone)]
@@ -77,7 +76,7 @@ impl ShareholdingConfig {
 /// [`crate::schema::simple_ownership_schema`] PG translation: multi-labelled
 /// `Business`/`Person` nodes with `pid`, and weighted `OWNS` edges.
 pub fn generate_shareholding(config: &ShareholdingConfig) -> Result<PropertyGraph> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut g = PropertyGraph::new();
     let mut businesses: Vec<NodeId> = Vec::new();
     // Repeated-node list for O(1) preferential sampling: a business appears
@@ -154,7 +153,7 @@ pub fn generate_shareholding(config: &ShareholdingConfig) -> Result<PropertyGrap
 /// Rescale each company's incoming `OWNS` percentages so they sum to a
 /// random total in `[0.55, 1.0]` — most companies have a well-defined
 /// majority structure, as in a real registry.
-fn normalize_percentages(g: &mut PropertyGraph, rng: &mut StdRng) -> Result<()> {
+fn normalize_percentages(g: &mut PropertyGraph, rng: &mut Rng) -> Result<()> {
     let nodes: Vec<NodeId> = g.nodes().collect();
     for n in nodes {
         let incoming: Vec<_> = g
@@ -217,6 +216,31 @@ mod tests {
         let (nb, eb) = kgm_pgstore::csv::export(&b);
         assert_eq!(na, nb);
         assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn generation_is_pinned_across_releases() {
+        // Golden fingerprint under the workspace PRNG (kgm-runtime
+        // xoshiro256**, seed 42): counts plus the first ten `pid`s, which
+        // encode the person/business coin flips and therefore the whole
+        // early RNG stream. If this fails, the generator or the PRNG
+        // changed and every published experiment number shifts with it.
+        let g = generate_shareholding(&ShareholdingConfig::with_nodes(1_000)).unwrap();
+        let pids: Vec<&str> = g
+            .nodes()
+            .take(10)
+            .map(|n| g.node_prop(n, "pid").and_then(Value::as_str).unwrap())
+            .collect();
+        assert_eq!(
+            (g.node_count(), g.edge_count()),
+            (1_000, 1_117),
+            "node/edge counts moved"
+        );
+        assert_eq!(
+            pids,
+            ["P0", "P1", "B2", "B3", "B4", "P5", "B6", "P7", "P8", "P9"],
+            "early RNG stream moved"
+        );
     }
 
     #[test]

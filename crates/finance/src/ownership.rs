@@ -170,10 +170,10 @@ mod tests {
 }
 
 /// Parallel variant of [`integrated_ownership`]: per-source series are
-/// independent, so sources are sharded across `threads` crossbeam scoped
-/// workers. Produces exactly the same table as the sequential version
-/// (tested), and backs the scaling comparison in the `control_pipeline`
-/// bench group.
+/// independent, so sources are sharded across `threads` scoped workers
+/// ([`kgm_runtime::par::map_shards`]). Produces exactly the same table as
+/// the sequential version (tested), and backs the scaling comparison in the
+/// `control_pipeline` bench group.
 pub fn integrated_ownership_parallel(
     g: &PropertyGraph,
     tolerance: f64,
@@ -190,51 +190,40 @@ pub fn integrated_ownership_parallel(
         *w.entry(f).or_default().entry(t).or_insert(0.0) += pct;
     }
     let sources: Vec<NodeId> = w.keys().copied().collect();
-    let threads = threads.max(1).min(sources.len().max(1));
-    let chunk = sources.len().div_ceil(threads);
     let w = &w;
-    let partials: Vec<IntegratedOwnership> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = sources
-            .chunks(chunk.max(1))
-            .map(|shard| {
-                scope.spawn(move |_| {
-                    let mut io: IntegratedOwnership = FxHashMap::default();
-                    for &x in shard {
-                        let mut total: FxHashMap<NodeId, f64> = FxHashMap::default();
-                        let mut frontier: FxHashMap<NodeId, f64> = FxHashMap::default();
-                        frontier.insert(x, 1.0);
-                        for _ in 0..max_rounds {
-                            let mut next: FxHashMap<NodeId, f64> = FxHashMap::default();
-                            for (&z, &p) in &frontier {
-                                if let Some(holdings) = w.get(&z) {
-                                    for (&y, &pct) in holdings {
-                                        *next.entry(y).or_insert(0.0) += p * pct;
-                                    }
-                                }
-                            }
-                            let mut mass = 0.0f64;
-                            for (&y, &p) in &next {
-                                *total.entry(y).or_insert(0.0) += p;
-                                mass = mass.max(p);
-                            }
-                            frontier = next;
-                            if mass < tolerance {
-                                break;
-                            }
-                        }
-                        for (y, p) in total {
-                            if y != x && p > tolerance {
-                                io.insert((x, y), p);
-                            }
+    let partials = kgm_runtime::par::map_shards(&sources, threads, |shard| {
+        let mut io: IntegratedOwnership = FxHashMap::default();
+        for &x in shard {
+            let mut total: FxHashMap<NodeId, f64> = FxHashMap::default();
+            let mut frontier: FxHashMap<NodeId, f64> = FxHashMap::default();
+            frontier.insert(x, 1.0);
+            for _ in 0..max_rounds {
+                let mut next: FxHashMap<NodeId, f64> = FxHashMap::default();
+                for (&z, &p) in &frontier {
+                    if let Some(holdings) = w.get(&z) {
+                        for (&y, &pct) in holdings {
+                            *next.entry(y).or_insert(0.0) += p * pct;
                         }
                     }
-                    io
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("scope");
+                }
+                let mut mass = 0.0f64;
+                for (&y, &p) in &next {
+                    *total.entry(y).or_insert(0.0) += p;
+                    mass = mass.max(p);
+                }
+                frontier = next;
+                if mass < tolerance {
+                    break;
+                }
+            }
+            for (y, p) in total {
+                if y != x && p > tolerance {
+                    io.insert((x, y), p);
+                }
+            }
+        }
+        io
+    });
     let mut out: IntegratedOwnership = FxHashMap::default();
     for p in partials {
         out.extend(p);

@@ -12,8 +12,7 @@
 
 use kgm_common::{Result, Value};
 use kgm_pgstore::{NodeId, PropertyGraph};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kgm_runtime::Rng;
 
 /// Parameters for the full-registry generator.
 #[derive(Debug, Clone)]
@@ -57,7 +56,7 @@ const EVENT_TYPES: &[&str] = &["merger", "acquisition", "split"];
 
 /// Generate a registry instance of the Company KG (multi-label PG form).
 pub fn generate_registry(config: &RegistryConfig) -> Result<PropertyGraph> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut g = PropertyGraph::new();
 
     let places: Vec<NodeId> = (0..config.places)

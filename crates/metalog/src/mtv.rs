@@ -861,11 +861,10 @@ mod tests {
             ("SM_CHILD", vec![vec![n(200), n(10), n(2)], vec![n(201), n(11), n(3)]]),
         ];
         let (db, _) = engine.run_with_facts(&facts).unwrap();
-        let desc = db.facts("DESCFROM");
         // Pairs (x descendant-or-self, y ancestor): with ε every node pairs
         // with itself; 2→1, 3→2, 3→1 via two steps.
-        let pairs: std::collections::BTreeSet<(i64, i64)> = desc
-            .iter()
+        let pairs: std::collections::BTreeSet<(i64, i64)> = db
+            .facts_iter("DESCFROM")
             .map(|t| (t[1].as_i64().unwrap(), t[2].as_i64().unwrap()))
             .collect();
         assert!(pairs.contains(&(2, 1)));

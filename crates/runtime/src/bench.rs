@@ -1,0 +1,485 @@
+//! A micro-benchmark harness with warmup, iteration calibration and
+//! percentile reporting, plus machine-readable JSON output.
+//!
+//! This replaces `criterion` for the workspace's five bench targets while
+//! keeping the same authoring shape — `Criterion`, `benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `b.iter(..)` — so a bench file ports
+//! with an import swap. It is deliberately smaller than criterion: no
+//! statistical regression tests, no gnuplot, just robust timing:
+//!
+//! 1. one warmup call, also used to calibrate an iteration count so each
+//!    timed sample runs long enough (~`KGM_BENCH_TARGET_MS`, default 5 ms)
+//!    to swamp timer quantization;
+//! 2. `sample_size` timed samples (default 20, `group.sample_size(n)` or
+//!    `KGM_BENCH_SAMPLES` override), each reporting mean ns/iteration;
+//! 3. median/p95/min over the samples printed per benchmark and collected
+//!    for JSON.
+//!
+//! [`bench_main!`](crate::bench_main) writes all results to
+//! `target/kgm-bench/<target>.json` so CI can diff runs without scraping
+//! stdout.
+
+use std::fmt::Display;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+/// One finished benchmark: identity plus per-iteration timings (ns).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (e.g. `chase/transitive_closure`).
+    pub group: String,
+    /// Benchmark id within the group (e.g. `scc/10000`).
+    pub id: String,
+    /// Mean ns/iteration of each timed sample, sorted ascending.
+    pub samples_ns: Vec<f64>,
+    /// Inner iterations per sample chosen by calibration.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// Smallest observed sample (ns/iteration).
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns.first().copied().unwrap_or(0.0)
+    }
+
+    /// Median sample (ns/iteration).
+    pub fn median_ns(&self) -> f64 {
+        percentile(&self.samples_ns, 50.0)
+    }
+
+    /// 95th-percentile sample (ns/iteration).
+    pub fn p95_ns(&self) -> f64 {
+        percentile(&self.samples_ns, 95.0)
+    }
+
+    /// Mean over samples (ns/iteration).
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            0.0
+        } else {
+            self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Render nanoseconds human-readably (ns/µs/ms/s).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark identity within a group: a function name, an input parameter,
+/// or both (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `BenchmarkId::new("scc", 10_000)` → `scc/10000`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id, e.g. `BenchmarkId::from_parameter(400)` → `400`.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Root harness object; accumulates results across groups.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Fresh harness.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: env_usize("KGM_BENCH_SAMPLES").unwrap_or(20),
+        }
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serialize every result as a JSON array (hand-rolled; the schema is
+    /// flat and the only strings are benchmark names we escape ourselves).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"group\": \"{}\", \"id\": \"{}\", \"iters\": {}, \
+                 \"samples\": {}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"median_ns\": {:.1}, \"p95_ns\": {:.1}}}",
+                escape_json(&r.group),
+                escape_json(&r.id),
+                r.iters,
+                r.samples_ns.len(),
+                r.min_ns(),
+                r.mean_ns(),
+                r.median_ns(),
+                r.p95_ns(),
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Write the JSON report to `target/kgm-bench/<name>.json`; returns the
+    /// path written.
+    pub fn write_json(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = bench_report_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Directory for JSON reports: `<target>/kgm-bench`, located from the
+/// running bench executable (`target/<profile>/deps/<bin>`), falling back
+/// to `./target/kgm-bench`.
+fn bench_report_dir() -> PathBuf {
+    if let Ok(exe) = std::env::current_exe() {
+        // exe = <target>/<profile>/deps/<bin-hash>; walk up past `deps`.
+        let mut dir = exe.parent();
+        while let Some(d) = dir {
+            if d.file_name().is_some_and(|n| n == "deps") {
+                if let Some(profile) = d.parent() {
+                    if let Some(target) = profile.parent() {
+                        return target.join("kgm-bench");
+                    }
+                }
+            }
+            dir = d.parent();
+        }
+    }
+    PathBuf::from("target").join("kgm-bench")
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A named group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (`KGM_BENCH_SAMPLES` overrides).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var("KGM_BENCH_SAMPLES").is_err() {
+            self.sample_size = n.max(2);
+        }
+        self
+    }
+
+    /// Run one benchmark; the closure drives a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.record(id, bencher);
+        self
+    }
+
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        self.record(id, bencher);
+        self
+    }
+
+    /// Close the group. Results were already recorded and printed; this
+    /// mirrors criterion's API so ported benches keep their `finish()` call.
+    pub fn finish(self) {}
+
+    fn record(&mut self, id: BenchmarkId, bencher: Bencher) {
+        let mut samples = bencher.samples_ns;
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let result = BenchResult {
+            group: self.name.clone(),
+            id: id.label,
+            samples_ns: samples,
+            iters: bencher.iters,
+        };
+        println!(
+            "{:<52} median {:>10}   p95 {:>10}   min {:>10}   ({} samples × {} iters)",
+            format!("{}/{}", result.group, result.id),
+            format_ns(result.median_ns()),
+            format_ns(result.p95_ns()),
+            format_ns(result.min_ns()),
+            result.samples_ns.len(),
+            result.iters,
+        );
+        self.criterion.results.push(result);
+    }
+}
+
+/// Drives the timed closure: one warmup/calibration pass, then
+/// `sample_size` timed samples.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher {
+            sample_size: sample_size.max(2),
+            samples_ns: Vec::new(),
+            iters: 1,
+        }
+    }
+
+    /// Time `f`, recording mean ns/iteration per sample. The return value
+    /// is passed through `black_box` so the computation is not optimized
+    /// away.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warmup + calibration: size the inner loop so one sample takes
+        // roughly the target wall time (cheap closures get thousands of
+        // iterations, expensive ones run once per sample).
+        let target_ms = env_usize("KGM_BENCH_TARGET_MS").unwrap_or(5) as u64;
+        let target = Duration::from_millis(target_ms.max(1));
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed();
+        let iters = if once.is_zero() {
+            1_000
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64
+        };
+
+        self.iters = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Declare a benchmark group: a function running each listed bench function
+/// against a shared [`Criterion`].
+///
+/// ```ignore
+/// bench_group!(benches, bench_parse, bench_translate);
+/// bench_main!(benches);
+/// ```
+#[macro_export]
+macro_rules! bench_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::bench::Criterion) {
+            $($bench_fn(criterion);)+
+        }
+    };
+}
+
+/// Emit `main()` for a bench target (`[[bench]] harness = false`): runs the
+/// listed groups and writes the JSON report to
+/// `target/kgm-bench/<target>.json`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags like `--bench`; accept
+            // and ignore them. `--list` must print nothing and exit so
+            // `cargo test` (which runs bench targets in test mode) stays
+            // quick.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--list") {
+                return;
+            }
+            let mut criterion = $crate::bench::Criterion::new();
+            $($group(&mut criterion);)+
+            let name = $crate::bench::bench_target_name();
+            match criterion.write_json(&name) {
+                Ok(path) => println!("\nbench report: {}", path.display()),
+                Err(e) => eprintln!("\nbench report not written: {e}"),
+            }
+        }
+    };
+}
+
+/// The current bench target's name: executable stem with cargo's trailing
+/// `-<16 hex>` disambiguation hash stripped (`chase-6a61…` → `chase`).
+pub fn bench_target_name() -> String {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((base, hash))
+            if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_calibrates() {
+        let mut c = Criterion::new();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        let noop = &c.results()[0];
+        assert_eq!(noop.group, "unit");
+        assert_eq!(noop.id, "noop");
+        assert!(noop.iters >= 1);
+        assert!(noop.samples_ns.len() >= 2);
+        assert!(noop.min_ns() <= noop.median_ns());
+        assert!(noop.median_ns() <= noop.p95_ns());
+        assert_eq!(c.results()[1].id, "sum/64");
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("scc", 10_000).label, "scc/10000");
+        assert_eq!(BenchmarkId::from_parameter(400).label, "400");
+        assert_eq!(BenchmarkId::from("plain").label, "plain");
+        assert_eq!(BenchmarkId::from(String::from("owned")).label, "owned");
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let mut c = Criterion::new();
+        c.benchmark_group("g\"x").sample_size(2).bench_function("f", |b| b.iter(|| 0));
+        let json = c.to_json();
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(json.contains("\\\"x\""), "group name escaped: {json}");
+        assert!(json.contains("\"median_ns\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert_eq!(percentile(&s, 100.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(12_500.0), "12.50 µs");
+        assert_eq!(format_ns(12_500_000.0), "12.50 ms");
+        assert_eq!(format_ns(2_000_000_000.0), "2.000 s");
+    }
+
+    #[test]
+    fn escape_json_handles_controls() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn bench_target_name_strips_hash() {
+        // Indirect: the helper must at least return something non-empty for
+        // the running test binary and strip a well-formed hash suffix.
+        assert!(!bench_target_name().is_empty());
+    }
+}

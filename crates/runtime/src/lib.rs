@@ -1,0 +1,30 @@
+//! `kgm-runtime` — the hermetic runtime layer of the KGModel workspace.
+//!
+//! Every capability the workspace previously pulled from external crates
+//! lives here, implemented on the standard library alone so the whole
+//! workspace builds offline from an empty cargo registry:
+//!
+//! | module | replaces | provides |
+//! |--------|----------|----------|
+//! | [`rng`]   | `rand`        | seedable xoshiro256** PRNG, `gen_range`, `shuffle`, `sample` |
+//! | [`sync`]  | `parking_lot` | non-poisoning `Mutex` / `RwLock` over `std::sync` |
+//! | [`par`]   | `crossbeam`   | scope-based parallel map (`std::thread::scope`) |
+//! | [`prop`]  | `proptest`    | seeded property tests with shrinking, `prop_assert!` |
+//! | [`bench`] | `criterion`   | warmup/calibrated micro-benchmarks with JSON reports |
+//!
+//! (The sixth removed dependency, `serde`, is replaced by hand-rolled
+//! `to_text`/`from_text` codecs in `kgm-common` itself.)
+//!
+//! Everything is deterministic by construction: the PRNG is seeded
+//! explicitly, property-test cases derive from a reported seed, and bench
+//! sharding preserves input order.
+
+pub mod bench;
+pub mod par;
+pub mod prop;
+pub mod rng;
+pub mod sync;
+
+pub use par::{default_threads, map_shards, par_map};
+pub use rng::{split_mix64, Rng, SampleUniform};
+pub use sync::{Mutex, RwLock};

@@ -1,0 +1,119 @@
+//! Scoped parallelism over `std::thread::scope`.
+//!
+//! Replaces `crossbeam::thread::scope`: since Rust 1.63 the standard library
+//! provides scoped threads that may borrow from the enclosing stack, which is
+//! all the workspace ever used crossbeam for. The helpers here encode the one
+//! pattern the embarrassingly-parallel analytics need — shard a slice, run a
+//! closure per shard, collect the partial results in shard order.
+
+use std::num::NonZeroUsize;
+
+/// A sensible worker count: the machine's parallelism, or 4 if unknown.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Split `items` into at most `threads` contiguous shards and run `f` on
+/// each shard in its own scoped thread. Results come back in shard order, so
+/// the output is deterministic regardless of scheduling.
+///
+/// Degenerate inputs are handled without spawning: an empty slice returns an
+/// empty vector, and `threads <= 1` (or a single shard) runs inline.
+///
+/// # Panics
+/// Propagates the first worker panic, like `crossbeam::thread::scope`.
+pub fn map_shards<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(items.len());
+    let chunk = items.len().div_ceil(threads);
+    if threads == 1 {
+        return vec![f(items)];
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|shard| scope.spawn(move || f(shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel shard worker panicked"))
+            .collect()
+    })
+}
+
+/// Parallel map over owned items: `f` runs on each element, sharded across
+/// `threads` scoped workers; the output preserves input order.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_shards(items, threads, |shard| shard.iter().map(&f).collect::<Vec<R>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_cover_all_items_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 8, 999, 5000] {
+            let sums = map_shards(&items, threads, |shard| shard.iter().sum::<u64>());
+            assert_eq!(sums.iter().sum::<u64>(), 499_500, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<i32> = (0..257).collect();
+        let doubled = par_map(&items, 7, |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let out: Vec<u32> = map_shards(&Vec::<u8>::new(), 8, |_| 1u32);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn workers_can_borrow_the_environment() {
+        let big = vec![1u64; 10_000];
+        let borrowed = &big;
+        let counts = map_shards(&[0, 1, 2, 3], 4, |shard| {
+            shard.len() + borrowed.len() // borrow proves scoping works
+        });
+        assert_eq!(counts, vec![10_001; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard worker panicked")]
+    fn worker_panic_propagates() {
+        map_shards(&[1, 2, 3, 4], 4, |shard| {
+            if shard[0] == 3 {
+                panic!("boom");
+            }
+            shard[0]
+        });
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

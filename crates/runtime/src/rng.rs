@@ -1,0 +1,283 @@
+//! A seedable, portable PRNG: xoshiro256** seeded through SplitMix64.
+//!
+//! This is the only randomness source in the workspace. The synthetic
+//! financial registry, the property-test harness and any sampling code all
+//! draw from [`Rng`], so a single `(algorithm, seed)` pair pins every
+//! workload byte-for-byte across platforms and compiler versions — the
+//! hermetic-build analogue of `rand::rngs::StdRng::seed_from_u64`, without
+//! the external crate.
+//!
+//! xoshiro256** (Blackman & Vigna) passes BigCrush, has a 2²⁵⁶−1 period and
+//! needs four words of state; SplitMix64 is the recommended seeder because
+//! it diffuses low-entropy seeds (0, 1, 42…) into well-mixed state.
+
+use std::ops::Range;
+
+/// SplitMix64 step — also usable standalone to derive per-case seeds.
+#[inline]
+pub fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The workspace PRNG (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Deterministically seed from a single `u64` via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: [
+                split_mix64(&mut sm),
+                split_mix64(&mut sm),
+                split_mix64(&mut sm),
+                split_mix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform value in the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    /// Panics on an empty range, matching `rand`'s contract.
+    #[inline]
+    pub fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.bounded(slice.len() as u64) as usize])
+        }
+    }
+
+    /// Sample `k` distinct elements without replacement (partial
+    /// Fisher–Yates over indices). Returns fewer than `k` if the slice is
+    /// shorter.
+    pub fn sample<T: Clone>(&mut self, slice: &[T], k: usize) -> Vec<T> {
+        let k = k.min(slice.len());
+        let mut idx: Vec<usize> = (0..slice.len()).collect();
+        for i in 0..k {
+            let j = i + self.bounded((idx.len() - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx[..k].iter().map(|&i| slice[i].clone()).collect()
+    }
+
+    /// Uniform value in `[0, bound)` by the multiply-shift reduction
+    /// (Lemire). The residual bias is below 2⁻⁶⁴ — irrelevant for synthetic
+    /// data and testing, and it keeps sampling branch-free and portable.
+    #[inline]
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+                // Width via wrapping i128-free arithmetic: the span of any
+                // 64-bit-or-smaller integer range fits in u64.
+                let span = (hi as i128 - lo as i128) as u64;
+                let off = rng.bounded(span);
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        let v = lo + rng.gen_f64() * (hi - lo);
+        // Guard against rounding up to the excluded endpoint.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+        f64::sample(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn known_answer_pins_the_algorithm() {
+        // Golden values: changing the seeder or generator silently would
+        // change every synthetic workload — this test makes it loud.
+        let mut r = Rng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_range_int_stays_in_bounds_and_covers() {
+        let mut r = Rng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..10 drawn: {seen:?}");
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = r.gen_range(-15_000i32..5_000);
+            assert!((-15_000..5_000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_f64_stays_in_bounds() {
+        let mut r = Rng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.gen_range(0.01f64..1.0);
+            assert!((0.01..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(5u32..5);
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_roughly() {
+        let mut r = Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never stay in place");
+    }
+
+    #[test]
+    fn sample_is_distinct_and_bounded() {
+        let mut r = Rng::seed_from_u64(5);
+        let pool: Vec<u32> = (0..20).collect();
+        let s = r.sample(&pool, 8);
+        assert_eq!(s.len(), 8);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 8, "no repeats");
+        assert_eq!(r.sample(&pool, 100).len(), 20, "clamped to pool size");
+        assert!(r.sample(&Vec::<u32>::new(), 3).is_empty());
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let mut r = Rng::seed_from_u64(1);
+        assert!(r.choose(&Vec::<u8>::new()).is_none());
+        assert_eq!(r.choose(&[7u8]), Some(&7));
+    }
+}

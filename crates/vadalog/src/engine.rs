@@ -140,6 +140,9 @@ impl FactDb {
     }
 
     /// Snapshot of a predicate's facts (empty if unknown).
+    ///
+    /// Clones every tuple; prefer [`FactDb::facts_iter`] when a borrow is
+    /// enough (post-run result scans, counting, projections).
     pub fn facts(&self, predicate: &str) -> Vec<Vec<Value>> {
         self.rels
             .get(predicate)
@@ -147,13 +150,41 @@ impl FactDb {
             .unwrap_or_default()
     }
 
+    /// Borrowing view of a predicate's facts, in insertion order (empty if
+    /// unknown). The clone-free counterpart of [`FactDb::facts`].
+    pub fn facts_iter(&self, predicate: &str) -> impl Iterator<Item = &[Value]> + '_ {
+        self.rels
+            .get(predicate)
+            .map(|r| r.tuples.as_slice())
+            .unwrap_or_default()
+            .iter()
+            .map(Vec::as_slice)
+    }
+
     /// The facts of `predicate` from index `start` on — used to separate
     /// derived facts from previously loaded input facts.
+    ///
+    /// Clones; prefer [`FactDb::facts_after_iter`] when a borrow is enough.
     pub fn facts_after(&self, predicate: &str, start: usize) -> Vec<Vec<Value>> {
         self.rels
             .get(predicate)
             .map(|r| r.tuples.get(start..).unwrap_or_default().to_vec())
             .unwrap_or_default()
+    }
+
+    /// Borrowing view of the facts of `predicate` from index `start` on.
+    /// The clone-free counterpart of [`FactDb::facts_after`].
+    pub fn facts_after_iter(
+        &self,
+        predicate: &str,
+        start: usize,
+    ) -> impl Iterator<Item = &[Value]> + '_ {
+        self.rels
+            .get(predicate)
+            .and_then(|r| r.tuples.get(start..))
+            .unwrap_or_default()
+            .iter()
+            .map(Vec::as_slice)
     }
 
     /// Number of facts for `predicate`.
@@ -1027,6 +1058,86 @@ mod tests {
         rows.iter()
             .map(|r| r.iter().map(|&i| Value::Int(i)).collect())
             .collect()
+    }
+
+    #[test]
+    fn lookup_index_catches_up_after_inserts() {
+        // An index built before an insert must still see tuples inserted
+        // afterwards: lookup's catch-up loop advances `built_upto` lazily.
+        let mut r = Relation::new(2);
+        r.insert(vec![Value::Int(1), Value::Int(10)]);
+        r.insert(vec![Value::Int(2), Value::Int(20)]);
+        // Build the index on position 0 now…
+        assert_eq!(r.lookup(&[0], &[Value::Int(1)], &(0..2)), vec![0]);
+        // …then insert more tuples, including one under an indexed key.
+        r.insert(vec![Value::Int(1), Value::Int(11)]);
+        r.insert(vec![Value::Int(3), Value::Int(30)]);
+        assert_eq!(
+            r.lookup(&[0], &[Value::Int(1)], &(0..4)),
+            vec![0, 2],
+            "post-build insert must appear under its key"
+        );
+        assert_eq!(
+            r.lookup(&[0], &[Value::Int(3)], &(0..4)),
+            vec![3],
+            "a brand-new key must be found too"
+        );
+    }
+
+    #[test]
+    fn lookup_range_restricts_delta_evaluation() {
+        let mut r = Relation::new(2);
+        for i in 0..6i64 {
+            r.insert(vec![Value::Int(i % 2), Value::Int(i)]);
+        }
+        // Key 0 matches indices 0, 2, 4; a delta range sees only its slice.
+        assert_eq!(r.lookup(&[0], &[Value::Int(0)], &(0..6)), vec![0, 2, 4]);
+        assert_eq!(r.lookup(&[0], &[Value::Int(0)], &(3..6)), vec![4]);
+        assert_eq!(r.lookup(&[0], &[Value::Int(0)], &(0..0)), Vec::<u32>::new());
+        // Empty positions = full scan of the range.
+        assert_eq!(r.lookup(&[], &[], &(2..5)), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn lookup_keeps_differing_position_sets_isolated() {
+        // Indexes on different position-key sets coexist: building and
+        // catching up one must not corrupt the other.
+        let mut r = Relation::new(2);
+        r.insert(vec![Value::Int(1), Value::Int(10)]);
+        // Index on position 0, then on position 1, then insert more.
+        assert_eq!(r.lookup(&[0], &[Value::Int(1)], &(0..1)), vec![0]);
+        assert_eq!(r.lookup(&[1], &[Value::Int(10)], &(0..1)), vec![0]);
+        r.insert(vec![Value::Int(1), Value::Int(20)]);
+        r.insert(vec![Value::Int(2), Value::Int(10)]);
+        assert_eq!(r.lookup(&[0], &[Value::Int(1)], &(0..3)), vec![0, 1]);
+        assert_eq!(r.lookup(&[1], &[Value::Int(10)], &(0..3)), vec![0, 2]);
+        // A composite-position index built late still covers everything.
+        assert_eq!(
+            r.lookup(&[0, 1], &[Value::Int(1), Value::Int(20)], &(0..3)),
+            vec![1]
+        );
+        assert_eq!(r.indexes.borrow().len(), 3, "three distinct index keys");
+    }
+
+    #[test]
+    fn facts_iter_variants_borrow_without_cloning() {
+        let mut db = FactDb::new();
+        db.add_facts("p", ints(&[&[1, 2], &[3, 4], &[5, 6]])).unwrap();
+        let all: Vec<&[Value]> = db.facts_iter("p").collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], &[Value::Int(1), Value::Int(2)][..]);
+        // Iterator agrees with the cloning snapshot.
+        assert_eq!(
+            db.facts("p"),
+            db.facts_iter("p").map(<[Value]>::to_vec).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            db.facts_after("p", 1),
+            db.facts_after_iter("p", 1).map(<[Value]>::to_vec).collect::<Vec<_>>()
+        );
+        // Unknown predicates and out-of-range starts yield empty iterators.
+        assert_eq!(db.facts_iter("missing").count(), 0);
+        assert_eq!(db.facts_after_iter("p", 99).count(), 0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  chase: {} facts derived in {} iterations",
         stats.derived_facts, stats.iterations
     );
-    for t in db.facts("controls") {
+    for t in db.facts_iter("controls") {
         if t[0] != t[1] {
             println!("  controls({}, {})", t[0], t[1]);
         }

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Offline CI for the hermetic workspace.
+#
+# 1. Guard: no workspace manifest may depend on anything outside the
+#    workspace (all deps must be kgm-* path crates).
+# 2. Build + test fully offline — proves an empty cargo registry suffices.
+#
+# Usage: scripts/ci.sh [--skip-tests]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dependency guard =="
+fail=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Collect dependency names from every [*dependencies*] table of the
+    # manifest: section lines like `[dependencies]`, `[dev-dependencies]`,
+    # `[target.'cfg(..)'.dependencies]`, then `name = ...` entries until the
+    # next section.
+    bad=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies/) ; next }
+        in_deps && /^[A-Za-z0-9_-]+[ \t]*=/ {
+            name = $1
+            sub(/[ \t]*=.*/, "", name)
+            if (name !~ /^kgm[-_]/ && name != "kgmodel") print name
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "ERROR: $manifest declares non-workspace dependencies:" >&2
+        echo "$bad" | sed 's/^/    /' >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "The workspace must stay hermetic (kgm-* crates only)." >&2
+    exit 1
+fi
+echo "ok: all dependencies are workspace-internal"
+
+echo "== cargo tree (must contain only kgm-* crates) =="
+if command -v cargo >/dev/null; then
+    foreign=$(cargo tree --offline --workspace --prefix none 2>/dev/null \
+        | awk '{print $1}' | sort -u | grep -v '^kgm' | grep -v '^kgmodel' || true)
+    if [ -n "$foreign" ]; then
+        echo "ERROR: cargo resolved non-workspace crates:" >&2
+        echo "$foreign" | sed 's/^/    /' >&2
+        exit 1
+    fi
+    echo "ok: dependency graph is workspace-only"
+fi
+
+echo "== offline build =="
+cargo build --release --offline --workspace
+
+if [ "${1:-}" != "--skip-tests" ]; then
+    echo "== offline tests =="
+    cargo test -q --offline --workspace
+fi
+
+echo "ci: all checks passed"

@@ -6,13 +6,18 @@
 //! (inverses pushed to the letters), compiled to a Thompson NFA whose
 //! letters are (edge label, direction), and the pairs `⟨x, y⟩` connected by
 //! a conforming semi-path are found by BFS over the (node, state) product.
+//!
+//! Runs under the in-workspace harness (`kgm_runtime::prop`): 64 seeded
+//! cases, counterexamples shrunk by dropping edges.
 
-use kgm_metalog::{translate, EdgeAtom, MetaProgram, PathRegex, PgSchema};
 use kgm_metalog::ast::{MetaBodyElem, MetaRule, NodeAtom, PathPattern};
+use kgm_metalog::{translate, EdgeAtom, MetaProgram, PathRegex, PgSchema};
+use kgm_runtime::prop::{check, shrink_vec, CaseResult, Config};
+use kgm_runtime::rng::Rng;
+use kgm_runtime::{prop_assert, prop_assert_eq};
 use kgmodel::common::Value;
 use kgmodel::pgstore::{NodeId, PropertyGraph};
 use kgmodel::vadalog::{Engine, EngineConfig, FactDb, SourceRegistry};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -226,8 +231,7 @@ fn mtv_pairs(g: Arc<PropertyGraph>, regex: &PathRegex) -> Result<BTreeSet<(u64, 
         .map_err(|e| e.to_string())?;
     engine.run(&mut db).map_err(|e| e.to_string())?;
     Ok(db
-        .facts("RESULT")
-        .into_iter()
+        .facts_iter("RESULT")
         .filter_map(|t| {
             Some((
                 t[1].as_oid()?.payload(),
@@ -241,38 +245,47 @@ fn mtv_pairs(g: Arc<PropertyGraph>, regex: &PathRegex) -> Result<BTreeSet<(u64, 
 // Generators.
 // ---------------------------------------------------------------------
 
-fn arb_regex(depth: u32) -> BoxedStrategy<PathRegex> {
-    let letter = prop_oneof![Just("A"), Just("B")].prop_map(|l| {
-        PathRegex::Edge(EdgeAtom {
-            var: None,
-            label: Some(l.to_string()),
-            props: vec![],
-        })
-    });
+fn gen_letter(rng: &mut Rng) -> PathRegex {
+    let l = if rng.gen_bool(0.5) { "A" } else { "B" };
+    PathRegex::Edge(EdgeAtom {
+        var: None,
+        label: Some(l.to_string()),
+        props: vec![],
+    })
+}
+
+/// Weighted like the original strategy: 3× letter, 1× each combinator.
+fn gen_regex(rng: &mut Rng, depth: u32) -> PathRegex {
     if depth == 0 {
-        letter.boxed()
-    } else {
-        let inner = arb_regex(depth - 1);
-        prop_oneof![
-            3 => letter,
-            1 => inner.clone().prop_map(|r| PathRegex::Inverse(Box::new(r))),
-            1 => (arb_regex(depth - 1), arb_regex(depth - 1))
-                .prop_map(|(a, b)| PathRegex::Concat(vec![a, b])),
-            1 => (arb_regex(depth - 1), arb_regex(depth - 1))
-                .prop_map(|(a, b)| PathRegex::Alt(vec![a, b])),
-            1 => inner.prop_map(|r| PathRegex::Star(Box::new(r))),
-        ]
-        .boxed()
+        return gen_letter(rng);
+    }
+    match rng.gen_range(0u32..7) {
+        0..=2 => gen_letter(rng),
+        3 => PathRegex::Inverse(Box::new(gen_regex(rng, depth - 1))),
+        4 => PathRegex::Concat(vec![gen_regex(rng, depth - 1), gen_regex(rng, depth - 1)]),
+        5 => PathRegex::Alt(vec![gen_regex(rng, depth - 1), gen_regex(rng, depth - 1)]),
+        _ => PathRegex::Star(Box::new(gen_regex(rng, depth - 1))),
     }
 }
 
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize, bool)>)> {
-    (2usize..7).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec(((0..n), (0..n), any::<bool>()), 0..14),
-        )
-    })
+type Case = (usize, Vec<(usize, usize, bool)>, PathRegex);
+
+fn gen_case(rng: &mut Rng) -> Case {
+    let n = rng.gen_range(2usize..7);
+    let m = rng.gen_range(0usize..14);
+    let edges = (0..m)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_bool(0.5)))
+        .collect();
+    (n, edges, gen_regex(rng, 2))
+}
+
+/// Shrink by dropping graph edges; the regex and node count stay fixed.
+fn shrink_case(input: &Case) -> Vec<Case> {
+    let (n, edges, regex) = input;
+    shrink_vec(edges)
+        .into_iter()
+        .map(|e| (*n, e, regex.clone()))
+        .collect()
 }
 
 fn build_graph(n: usize, edges: &[(usize, usize, bool)]) -> PropertyGraph {
@@ -290,27 +303,30 @@ fn build_graph(n: usize, edges: &[(usize, usize, bool)]) -> PropertyGraph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The Section 4 step-(3) translation is semantics-preserving.
-    #[test]
-    fn mtv_path_patterns_match_brute_force(
-        (n, edges) in arb_graph(),
-        regex in arb_regex(2),
-    ) {
-        let g = build_graph(n, &edges);
-        let expected = brute_force_pairs(&g, &regex);
-        match mtv_pairs(Arc::new(g), &regex) {
-            Ok(actual) => prop_assert_eq!(actual, expected),
-            // The only legal rejection is the documented unsupported shape:
-            // a nullable sub-pattern inside a concatenation.
-            Err(e) => prop_assert!(
-                e.contains("nullable"),
-                "unexpected translation failure: {}", e
-            ),
-        }
-    }
+/// The Section 4 step-(3) translation is semantics-preserving.
+#[test]
+fn mtv_path_patterns_match_brute_force() {
+    check(
+        "mtv_path_patterns_match_brute_force",
+        &Config::with_cases(64),
+        gen_case,
+        shrink_case,
+        |(n, edges, regex)| -> CaseResult {
+            let g = build_graph(*n, edges);
+            let expected = brute_force_pairs(&g, regex);
+            match mtv_pairs(Arc::new(g), regex) {
+                Ok(actual) => prop_assert_eq!(actual, expected),
+                // The only legal rejection is the documented unsupported shape:
+                // a nullable sub-pattern inside a concatenation.
+                Err(e) => prop_assert!(
+                    e.contains("nullable"),
+                    "unexpected translation failure: {}",
+                    e
+                ),
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]

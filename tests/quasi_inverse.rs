@@ -4,13 +4,18 @@
 //! it back reproduces the instance exactly (node/edge multisets with labels
 //! and properties) — *"any potential information loss is never caused by the
 //! inversion"*.
+//!
+//! Runs under the in-workspace harness (`kgm_runtime::prop`): 64 seeded
+//! cases per property, with the failing seed reported for reproduction.
 
+use kgm_runtime::prop::{check, no_shrink, CaseResult, Config};
+use kgm_runtime::rng::Rng;
+use kgm_runtime::prop_assert_eq;
 use kgmodel::common::Value;
 use kgmodel::core::dictionary::Dictionary;
 use kgmodel::core::instances::{flush_instance, load_instance};
 use kgmodel::core::parse_gsl;
 use kgmodel::pgstore::{NodeId, PropertyGraph};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn schema_src() -> &'static str {
@@ -65,21 +70,59 @@ struct RandomInstance {
     located: Vec<(usize, usize)>,
 }
 
-fn arb_instance() -> impl Strategy<Value = RandomInstance> {
-    (
-        proptest::collection::vec(("p[a-z]{2}[0-9]{2}", proptest::option::of("n[a-z]{3}")), 0..5),
-        proptest::collection::vec(("c[a-z]{2}[0-9]{2}", 0.0f64..100.0), 1..5),
-        proptest::collection::vec("l[a-z]{3}", 0..3),
-        proptest::collection::vec((0usize..8, 0usize..8, 0i64..3000), 0..6),
-        proptest::collection::vec((0usize..8, 0usize..8), 0..4),
-    )
-        .prop_map(|(people, companies, places, works_at, located)| RandomInstance {
-            people,
-            companies,
-            places,
-            works_at,
-            located,
+/// A random identifier shaped like the old `p[a-z]{2}[0-9]{2}` regexes.
+fn gen_word(rng: &mut Rng, prefix: char, alphas: usize, digits: usize) -> String {
+    let mut s = String::new();
+    s.push(prefix);
+    for _ in 0..alphas {
+        s.push((b'a' + rng.gen_range(0u8..26)) as char);
+    }
+    for _ in 0..digits {
+        s.push((b'0' + rng.gen_range(0u8..10)) as char);
+    }
+    s
+}
+
+fn gen_instance(rng: &mut Rng) -> RandomInstance {
+    let np = rng.gen_range(0usize..5);
+    let people = (0..np)
+        .map(|_| {
+            let pid = gen_word(rng, 'p', 2, 2);
+            let nick = if rng.gen_bool(0.5) {
+                Some(gen_word(rng, 'n', 3, 0))
+            } else {
+                None
+            };
+            (pid, nick)
         })
+        .collect();
+    let nc = rng.gen_range(1usize..5);
+    let companies = (0..nc)
+        .map(|_| (gen_word(rng, 'c', 2, 2), rng.gen_range(0.0f64..100.0)))
+        .collect();
+    let nl = rng.gen_range(0usize..3);
+    let places = (0..nl).map(|_| gen_word(rng, 'l', 3, 0)).collect();
+    let nw = rng.gen_range(0usize..6);
+    let works_at = (0..nw)
+        .map(|_| {
+            (
+                rng.gen_range(0usize..8),
+                rng.gen_range(0usize..8),
+                rng.gen_range(0i64..3000),
+            )
+        })
+        .collect();
+    let nloc = rng.gen_range(0usize..4);
+    let located = (0..nloc)
+        .map(|_| (rng.gen_range(0usize..8), rng.gen_range(0usize..8)))
+        .collect();
+    RandomInstance {
+        people,
+        companies,
+        places,
+        works_at,
+        located,
+    }
 }
 
 fn build(inst: &RandomInstance) -> PropertyGraph {
@@ -141,34 +184,48 @@ fn build(inst: &RandomInstance) -> PropertyGraph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn load_then_flush_is_identity() {
+    check(
+        "load_then_flush_is_identity",
+        &Config::with_cases(64),
+        gen_instance,
+        no_shrink,
+        |inst| -> CaseResult {
+            let schema = parse_gsl(schema_src()).unwrap();
+            let data = build(inst);
+            let mut dict = Dictionary::new();
+            dict.encode(&schema, 1).unwrap();
+            load_instance(&mut dict, &schema, 1, 55, &data).unwrap();
+            let back = flush_instance(&dict, &schema, 55).unwrap();
+            prop_assert_eq!(fingerprint(&back), fingerprint(&data));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn load_then_flush_is_identity(inst in arb_instance()) {
-        let schema = parse_gsl(schema_src()).unwrap();
-        let data = build(&inst);
-        let mut dict = Dictionary::new();
-        dict.encode(&schema, 1).unwrap();
-        load_instance(&mut dict, &schema, 1, 55, &data).unwrap();
-        let back = flush_instance(&dict, &schema, 55).unwrap();
-        prop_assert_eq!(fingerprint(&back), fingerprint(&data));
-    }
-
-    #[test]
-    fn double_round_trip_is_stable(inst in arb_instance()) {
-        let schema = parse_gsl(schema_src()).unwrap();
-        let data = build(&inst);
-        let mut dict = Dictionary::new();
-        dict.encode(&schema, 1).unwrap();
-        load_instance(&mut dict, &schema, 1, 55, &data).unwrap();
-        let once = flush_instance(&dict, &schema, 55).unwrap();
-        let mut dict2 = Dictionary::new();
-        dict2.encode(&schema, 1).unwrap();
-        load_instance(&mut dict2, &schema, 1, 56, &once).unwrap();
-        let twice = flush_instance(&dict2, &schema, 56).unwrap();
-        prop_assert_eq!(fingerprint(&twice), fingerprint(&once));
-    }
+#[test]
+fn double_round_trip_is_stable() {
+    check(
+        "double_round_trip_is_stable",
+        &Config::with_cases(64),
+        gen_instance,
+        no_shrink,
+        |inst| -> CaseResult {
+            let schema = parse_gsl(schema_src()).unwrap();
+            let data = build(inst);
+            let mut dict = Dictionary::new();
+            dict.encode(&schema, 1).unwrap();
+            load_instance(&mut dict, &schema, 1, 55, &data).unwrap();
+            let once = flush_instance(&dict, &schema, 55).unwrap();
+            let mut dict2 = Dictionary::new();
+            dict2.encode(&schema, 1).unwrap();
+            load_instance(&mut dict2, &schema, 1, 56, &once).unwrap();
+            let twice = flush_instance(&dict2, &schema, 56).unwrap();
+            prop_assert_eq!(fingerprint(&twice), fingerprint(&once));
+            Ok(())
+        },
+    );
 }
 
 #[test]
