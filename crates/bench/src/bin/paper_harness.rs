@@ -16,9 +16,25 @@
 //!
 //! Artefact files (DOT diagrams, DDL, RDF-S) are written under
 //! `target/paper-artifacts/`.
+//!
+//! Observability flags (combine with any experiment):
+//!
+//! ```text
+//! paper-harness e7 --profile   # capture the span tree + metrics and write
+//!                              # target/paper-artifacts/run_report_e7.json;
+//!                              # e7 additionally refreshes the repo-root
+//!                              # BENCH_chase.json / BENCH_control_pipeline.json
+//! paper-harness e7 --trace     # force the JSONL trace sink on
+//!                              # (target/kgm-trace/trace-<pid>.jsonl)
+//! KGM_LOG=span paper-harness … # print the live span tree to stderr
+//! paper-harness validate-json FILE…   # exit non-zero unless every FILE is
+//!                                     # valid JSON (CI smoke helper)
+//! ```
 
 use kgm_bench::*;
 use kgm_core::intensional::MaterializationMode;
+use kgm_finance::control::control_vadalog;
+use kgm_runtime::telemetry;
 use std::fs;
 use std::path::PathBuf;
 
@@ -101,9 +117,104 @@ fn run_e10(nodes: usize) {
     println!("{report}");
 }
 
+/// Refresh the two repo-root perf-trajectory files with a quick in-process
+/// bench pass: the raw chase (direct Vadalog control program) and the full
+/// Algorithm 2 control pipeline.
+fn refresh_bench_reports() {
+    let mut criterion = kgm_runtime::bench::Criterion::new();
+    let g = bench_graph(400);
+    {
+        let mut group = criterion.benchmark_group("chase/control_vadalog");
+        group.sample_size(3);
+        group.bench_with_input(
+            kgm_runtime::bench::BenchmarkId::from_parameter(400),
+            &g,
+            |b, g| b.iter(|| control_vadalog(g).expect("chase bench")),
+        );
+        group.finish();
+    }
+    match criterion.write_json("chase") {
+        Ok(path) => println!("  [bench] {}", path.display()),
+        Err(e) => eprintln!("  [bench] chase report not written: {e}"),
+    }
+
+    let mut criterion = kgm_runtime::bench::Criterion::new();
+    {
+        let mut group = criterion.benchmark_group("control_pipeline/single_pass");
+        group.sample_size(3);
+        group.bench_function(kgm_runtime::bench::BenchmarkId::from_parameter(150), |b| {
+            b.iter(|| {
+                e7_control_pipeline(150, MaterializationMode::SinglePass)
+                    .expect("pipeline bench")
+            })
+        });
+        group.finish();
+    }
+    match criterion.write_json("control_pipeline") {
+        Ok(path) => println!("  [bench] {}", path.display()),
+        Err(e) => eprintln!("  [bench] control_pipeline report not written: {e}"),
+    }
+}
+
+/// Assemble the machine-readable run report: captured span trees plus the
+/// global metrics snapshot.
+fn run_report_json(cmd: &str, spans: &[telemetry::SpanNode]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"experiment\": \"{cmd}\",\n"));
+    out.push_str("  \"spans\": [");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&s.to_json());
+    }
+    out.push_str("],\n");
+    out.push_str("  \"metrics\": ");
+    out.push_str(&telemetry::snapshot().to_json());
+    out.push_str("\n}\n");
+    out
+}
+
+fn validate_json_files(files: &[String]) -> ! {
+    let mut failed = false;
+    for f in files {
+        let verdict = fs::read_to_string(f)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                if f.ends_with(".jsonl") {
+                    kgm_runtime::json::validate_jsonl(&text)
+                } else {
+                    kgm_runtime::json::validate(&text)
+                }
+            });
+        match verdict {
+            Ok(()) => println!("ok    {f}"),
+            Err(e) => {
+                println!("FAIL  {f}: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let profile = raw.iter().any(|a| a == "--profile");
+    let trace = raw.iter().any(|a| a == "--trace");
+    let args: Vec<String> = raw
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
+    if cmd == "validate-json" {
+        validate_json_files(&args[1..]);
+    }
+    if trace {
+        telemetry::force_trace(true);
+    }
+    let collector = profile.then(telemetry::Collector::install);
     let num = |i: usize, default: usize| -> usize {
         args.get(i)
             .and_then(|s| s.parse().ok())
@@ -151,5 +262,18 @@ fn main() {
             eprintln!("unknown experiment `{other}`; use e1..e10 or all");
             std::process::exit(2);
         }
+    }
+    if profile && matches!(cmd, "e7" | "all") {
+        println!("\nrefreshing repo-root BENCH_*.json perf trajectory:");
+        refresh_bench_reports();
+    }
+    if let Some(collector) = collector {
+        let spans = collector.finish();
+        println!("\nprofile: {} root span(s) captured", spans.len());
+        for s in &spans {
+            print!("{}", s.render_tree());
+        }
+        let report = run_report_json(cmd, &spans);
+        save(&format!("run_report_{cmd}.json"), &report);
     }
 }

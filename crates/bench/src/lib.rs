@@ -21,8 +21,8 @@ use kgm_finance::generator::{generate_shareholding, ShareholdingConfig};
 use kgm_finance::schema::{company_kg_schema, simple_ownership_schema};
 use kgm_pgstore::algo::EdgeFilter;
 use kgm_pgstore::{GraphStats, PropertyGraph};
+use kgm_runtime::telemetry;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// E1 — the Section 2.1 topology statistics, paper vs measured.
 pub struct E1Result {
@@ -352,23 +352,23 @@ pub fn e8_mtv_overhead(nodes: usize) -> Result<E8Result> {
     };
     let data = generate_shareholding(&cfg)?;
 
-    let t = Instant::now();
-    let baseline = baseline_control(&data);
-    let t_baseline = t.elapsed().as_secs_f64() * 1e3;
+    let (baseline, t_baseline) =
+        telemetry::time("e8.baseline", String::new(), || baseline_control(&data));
 
-    let t = Instant::now();
-    let (direct, _) = control_vadalog(&data)?;
-    let t_direct = t.elapsed().as_secs_f64() * 1e3;
+    let (direct, t_direct) =
+        telemetry::time("e8.direct_vadalog", String::new(), || control_vadalog(&data));
+    let (direct, _) = direct?;
 
     let mut pipeline_data = generate_shareholding(&cfg)?;
-    let t = Instant::now();
-    materialize(
-        &mut pipeline_data,
-        &schema,
-        CONTROL_METALOG,
-        MaterializationMode::SinglePass,
-    )?;
-    let t_pipeline = t.elapsed().as_secs_f64() * 1e3;
+    let (pipeline_res, t_pipeline) = telemetry::time("e8.pipeline", String::new(), || {
+        materialize(
+            &mut pipeline_data,
+            &schema,
+            CONTROL_METALOG,
+            MaterializationMode::SinglePass,
+        )
+    });
+    pipeline_res?;
     let pipeline_pairs = pipeline_data
         .edges_with_label("CONTROLS")
         .into_iter()
@@ -422,9 +422,10 @@ pub fn e9_strategies() -> Result<String> {
     let parent = translate_to_pg(&schema, PgGeneralizationStrategy::ParentEdge)?;
     let fk = translate_to_relational(&schema, RelGeneralizationStrategy::ForeignKeyPerChild)?;
     let single = translate_to_relational(&schema, RelGeneralizationStrategy::SingleTable)?;
-    let t = Instant::now();
-    let metalog = translate_to_pg_via_metalog(&simpler_for_metalog()?)?;
-    let t_metalog = t.elapsed().as_secs_f64() * 1e3;
+    let (metalog, t_metalog) = telemetry::time("e9.metalog_pg", String::new(), || {
+        translate_to_pg_via_metalog(&simpler_for_metalog()?)
+    });
+    let metalog = metalog?;
     let mut report = String::new();
     writeln!(report, "E9 — implementation strategies (§5.1 ablation)").ok();
     writeln!(
@@ -469,10 +470,10 @@ pub fn e9_strategies() -> Result<String> {
     // identifier and are materialized, not deployed, in the relational
     // tactic).
     let rel_schema = rel_mapping_input()?;
-    let t = Instant::now();
-    let rel_run =
-        kgm_core::sst_metalog_rel::translate_to_relational_via_metalog(&rel_schema)?;
-    let t_rel = t.elapsed().as_secs_f64() * 1e3;
+    let (rel_run, t_rel) = telemetry::time("e9.metalog_rel", String::new(), || {
+        kgm_core::sst_metalog_rel::translate_to_relational_via_metalog(&rel_schema)
+    });
+    let rel_run = rel_run?;
     writeln!(
         report,
         "MetaLog-driven REL mapping (§5.3): {} tables, {} FK pairs in {:.1} ms",

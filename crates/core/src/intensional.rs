@@ -35,7 +35,7 @@ use kgm_vadalog::{
     RuleStep, SourceRegistry, Term, Var,
 };
 use std::sync::Arc;
-use std::time::Instant;
+use kgm_runtime::telemetry;
 
 /// The reserved "absent optional attribute" null.
 fn absent() -> Value {
@@ -629,81 +629,100 @@ pub fn materialize(
     sigma_src: &str,
     mode: MaterializationMode,
 ) -> Result<MaterializationStats> {
+    let _span = kgm_runtime::span!("intensional.materialize", "{mode:?}");
     let mut stats = MaterializationStats::default();
     let schema_oid = 1i64;
     let instance_oid = 100i64;
 
-    // --- Load (Algorithm 2 line 4).
-    let t0 = Instant::now();
-    let mut dict = Dictionary::new();
-    dict.encode(schema, schema_oid)?;
-    let (_lstats, imap) = load_instance(&mut dict, schema, schema_oid, instance_oid, data)?;
-    stats.load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // --- Load (Algorithm 2 line 4). `telemetry::time` both scopes the
+    // phase span and yields the elapsed ms kept in the stats, so the
+    // harness report and the trace agree by construction.
+    let (loaded, load_ms) = telemetry::time("intensional.load", String::new(), || {
+        let mut dict = Dictionary::new();
+        dict.encode(schema, schema_oid)?;
+        let (_lstats, imap) =
+            load_instance(&mut dict, schema, schema_oid, instance_oid, data)?;
+        Ok::<_, KgmError>((dict, imap))
+    });
+    let (mut dict, imap) = loaded?;
+    stats.load_ms = load_ms;
 
     // --- Views + Σ (lines 5–8).
-    let t1 = Instant::now();
-    let sigma = parse_metalog(sigma_src)?;
-    let pg_schema = pg_schema_of(schema);
-    let mut mtv = translate(&sigma, &pg_schema, "unused")?;
-    mtv.program.inputs.clear(); // atoms come from V_I, not raw graph scans
-    let ctx = ViewCtx {
-        dict: &dict,
-        schema,
-        schema_oid,
-        instance_oid,
-    };
-    let (body_nodes, body_edges, head_nodes, head_edges) = sigma_labels(&sigma, schema);
-    let vi = input_views(&ctx, &body_nodes, &body_edges)?;
-    let vo = output_views(&ctx, &head_nodes, &head_edges)?;
+    let (reasoned, reason_ms) = telemetry::time(
+        "intensional.reason",
+        format!("{mode:?}"),
+        || {
+            let sigma = parse_metalog(sigma_src)?;
+            let pg_schema = pg_schema_of(schema);
+            let mut mtv = translate(&sigma, &pg_schema, "unused")?;
+            mtv.program.inputs.clear(); // atoms come from V_I, not raw graph scans
+            let ctx = ViewCtx {
+                dict: &dict,
+                schema,
+                schema_oid,
+                instance_oid,
+            };
+            let (body_nodes, body_edges, head_nodes, head_edges) =
+                sigma_labels(&sigma, schema);
+            let vi = input_views(&ctx, &body_nodes, &body_edges)?;
+            let vo = output_views(&ctx, &head_nodes, &head_edges)?;
 
-    let mut registry = SourceRegistry::new();
-    // The dictionary graph is read-only during reasoning; clone it into the
-    // registry (Arc'd) — the flush step mutates the original.
-    let dict_graph = std::mem::replace(&mut dict.graph, PropertyGraph::new());
-    let dict_arc = Arc::new(dict_graph);
-    registry.add_graph("dict", dict_arc.clone());
+            let mut registry = SourceRegistry::new();
+            // The dictionary graph is read-only during reasoning; clone it
+            // into the registry (Arc'd) — the flush step mutates the
+            // original.
+            let dict_graph = std::mem::replace(&mut dict.graph, PropertyGraph::new());
+            let dict_arc = Arc::new(dict_graph);
+            registry.add_graph("dict", dict_arc.clone());
 
-    let db = match mode {
-        MaterializationMode::SinglePass => {
-            let mut program = vi;
-            program.extend(mtv.program);
-            program.extend(vo);
-            let engine = Engine::with_config(program, EngineConfig::default())?;
-            let mut db = FactDb::new();
-            engine.load_inputs(&registry, &mut db)?;
-            let run = engine.run(&mut db)?;
-            stats.derived_facts = run.derived_facts;
-            db
-        }
-        MaterializationMode::Staged => {
-            // Stage 1: materialize V_I into a staging area.
-            let engine_vi = Engine::with_config(vi, EngineConfig::default())?;
-            let mut staged = FactDb::new();
-            engine_vi.load_inputs(&registry, &mut staged)?;
-            let run1 = engine_vi.run(&mut staged)?;
-            // Stage 2: Σ ∪ V_O over the staged label facts only.
-            let mut program = mtv.program;
-            program.extend(vo);
-            let engine = Engine::with_config(program, EngineConfig::default())?;
-            let mut db = FactDb::new();
-            let labels: Vec<&String> = body_nodes.iter().chain(body_edges.iter()).collect();
-            for l in labels {
-                db.add_facts(l, staged.facts(l))?;
-            }
-            let run2 = engine.run(&mut db)?;
-            stats.derived_facts = run1.derived_facts + run2.derived_facts;
-            db
-        }
-    };
-    stats.reason_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let db = match mode {
+                MaterializationMode::SinglePass => {
+                    let mut program = vi;
+                    program.extend(mtv.program);
+                    program.extend(vo);
+                    let engine = Engine::with_config(program, EngineConfig::default())?;
+                    let mut db = FactDb::new();
+                    engine.load_inputs(&registry, &mut db)?;
+                    let run = engine.run(&mut db)?;
+                    stats.derived_facts = run.derived_facts;
+                    db
+                }
+                MaterializationMode::Staged => {
+                    // Stage 1: materialize V_I into a staging area.
+                    let engine_vi = Engine::with_config(vi, EngineConfig::default())?;
+                    let mut staged = FactDb::new();
+                    engine_vi.load_inputs(&registry, &mut staged)?;
+                    let run1 = engine_vi.run(&mut staged)?;
+                    // Stage 2: Σ ∪ V_O over the staged label facts only.
+                    let mut program = mtv.program;
+                    program.extend(vo);
+                    let engine = Engine::with_config(program, EngineConfig::default())?;
+                    let mut db = FactDb::new();
+                    let labels: Vec<&String> =
+                        body_nodes.iter().chain(body_edges.iter()).collect();
+                    for l in labels {
+                        db.add_facts(l, staged.facts(l))?;
+                    }
+                    let run2 = engine.run(&mut db)?;
+                    stats.derived_facts = run1.derived_facts + run2.derived_facts;
+                    db
+                }
+            };
+            drop(registry); // release the registry's Arc so the dictionary unwraps
+            Ok::<_, KgmError>((db, dict_arc))
+        },
+    );
+    let (db, dict_arc) = reasoned?;
+    stats.reason_ms = reason_ms;
 
     // --- Flush (line 9).
-    let t2 = Instant::now();
-    drop(registry); // release the registry's Arc so the dictionary unwraps
-    dict.graph = Arc::try_unwrap(dict_arc)
-        .map_err(|_| KgmError::Internal("dictionary graph still shared".into()))?;
-    flush(&db, &dict, schema, &imap, data, &mut stats)?;
-    stats.flush_ms = t2.elapsed().as_secs_f64() * 1e3;
+    let (flushed, flush_ms) = telemetry::time("intensional.flush", String::new(), || {
+        dict.graph = Arc::try_unwrap(dict_arc)
+            .map_err(|_| KgmError::Internal("dictionary graph still shared".into()))?;
+        flush(&db, &dict, schema, &imap, data, &mut stats)
+    });
+    flushed?;
+    stats.flush_ms = flush_ms;
     Ok(stats)
 }
 

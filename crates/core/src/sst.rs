@@ -90,6 +90,7 @@ pub fn translate_to_pg(
     schema: &SuperSchema,
     strategy: PgGeneralizationStrategy,
 ) -> Result<PgModelSchema> {
+    let span = kgm_runtime::span!("sst.translate_pg", "{strategy:?}");
     schema.validate()?;
     let mut out = PgModelSchema::default();
     for n in &schema.nodes {
@@ -167,6 +168,10 @@ pub fn translate_to_pg(
         }
     }
     out.normalize();
+    if span.is_active() {
+        kgm_runtime::telemetry::record("node_types", out.node_types.len() as i64);
+        kgm_runtime::telemetry::record("relationships", out.relationships.len() as i64);
+    }
     Ok(out)
 }
 
@@ -217,6 +222,7 @@ pub fn translate_to_relational(
     schema: &SuperSchema,
     strategy: RelGeneralizationStrategy,
 ) -> Result<RelationalSchema> {
+    let span = kgm_runtime::span!("sst.translate_rel", "{strategy:?}");
     schema.validate()?;
     let mut out = RelationalSchema::default();
 
@@ -314,6 +320,9 @@ pub fn translate_to_relational(
         translate_edge(schema, e, strategy, &mut out)?;
     }
     out.normalize();
+    if span.is_active() {
+        kgm_runtime::telemetry::record("tables", out.tables.len() as i64);
+    }
     Ok(out)
 }
 

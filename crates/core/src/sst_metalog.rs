@@ -194,6 +194,12 @@ pub fn run_mapping(
     node_labels: &[&str],
     edge_labels: &[&str],
 ) -> Result<(PropertyGraph, String)> {
+    let _span = kgm_runtime::span!(
+        "sst.run_mapping",
+        "{} node labels, {} edge labels",
+        node_labels.len(),
+        edge_labels.len()
+    );
     let meta = parse_metalog(metalog_src)?;
     let out = translate(&meta, catalog, "dict")?;
     let engine = Engine::with_config(out.program, EngineConfig::default())?;
@@ -222,6 +228,7 @@ pub fn materialize_facts(
     edge_labels: &[&str],
     watermarks: &FxHashMap<String, usize>,
 ) -> Result<PropertyGraph> {
+    let span = kgm_runtime::span!("sst.materialize");
     let start = |l: &str| watermarks.get(l).copied().unwrap_or(0);
     let mut g = PropertyGraph::new();
     let mut by_id: FxHashMap<Value, NodeId> = FxHashMap::default();
@@ -287,6 +294,10 @@ pub fn materialize_facts(
             }
         }
     }
+    if span.is_active() {
+        kgm_runtime::telemetry::record("nodes", g.node_count() as i64);
+        kgm_runtime::telemetry::record("edges", g.edge_count() as i64);
+    }
     Ok(g)
 }
 
@@ -307,6 +318,7 @@ pub struct MetalogSstRun {
 pub fn translate_to_pg_via_metalog(
     schema: &SuperSchema,
 ) -> Result<MetalogSstRun> {
+    let _span = kgm_runtime::span!("sst.metalog_pg");
     // Line "encode S into the dictionary".
     let mut dict = Dictionary::new();
     dict.encode(schema, SRC_OID)?;

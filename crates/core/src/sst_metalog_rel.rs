@@ -365,6 +365,7 @@ pub struct RelMetalogRun {
 
 /// Run the §5.3 MetaLog mapping pipeline.
 pub fn translate_to_relational_via_metalog(schema: &SuperSchema) -> Result<RelMetalogRun> {
+    let _span = kgm_runtime::span!("sst.metalog_rel");
     let mut dict = Dictionary::new();
     dict.encode(schema, 1)?;
     let catalog = rel_model_dictionary_schema();

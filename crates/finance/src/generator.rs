@@ -76,6 +76,9 @@ impl ShareholdingConfig {
 /// [`crate::schema::simple_ownership_schema`] PG translation: multi-labelled
 /// `Business`/`Person` nodes with `pid`, and weighted `OWNS` edges.
 pub fn generate_shareholding(config: &ShareholdingConfig) -> Result<PropertyGraph> {
+    // Telemetry must stay outside the sampling loop: the RNG stream is
+    // pinned by a golden test, so instrumentation only observes results.
+    let span = kgm_runtime::span!("finance.generate", "{} nodes", config.nodes);
     let mut rng = Rng::seed_from_u64(config.seed);
     let mut g = PropertyGraph::new();
     let mut businesses: Vec<NodeId> = Vec::new();
@@ -146,7 +149,16 @@ pub fn generate_shareholding(config: &ShareholdingConfig) -> Result<PropertyGrap
         }
     }
 
-    normalize_percentages(&mut g, &mut rng)?;
+    {
+        let _s = kgm_runtime::span!("finance.normalize");
+        normalize_percentages(&mut g, &mut rng)?;
+    }
+    if span.is_active() {
+        kgm_runtime::telemetry::record("nodes", g.node_count() as i64);
+        kgm_runtime::telemetry::record("edges", g.edge_count() as i64);
+    }
+    kgm_runtime::telemetry::counter_add("finance.graphs_generated", 1);
+    kgm_runtime::telemetry::histogram_record("finance.graph_edges", g.edge_count() as u64);
     Ok(g)
 }
 

@@ -26,6 +26,7 @@ use crate::ast::{
 };
 use crate::schema::PgSchema;
 use kgm_common::{FxHashMap, FxHashSet, KgmError, Result, Value};
+use kgm_runtime::telemetry;
 use kgm_vadalog::{parse_program, Program};
 
 use crate::ast::TermLike;
@@ -496,19 +497,25 @@ fn is_recursive(meta: &MetaProgram) -> bool {
 /// `graph` is the registered name of the source property graph that the
 /// generated `@input` annotations will read from.
 pub fn translate(meta: &MetaProgram, schema: &PgSchema, graph: &str) -> Result<MtvOutput> {
+    let root_span = kgm_runtime::span!("mtv.translate", "{} rules", meta.rules.len());
     // Tractability rule (Section 4): star only in non-recursive programs.
-    let uses_star = meta.rules.iter().any(|r| {
-        r.body.iter().any(|b| match b {
-            MetaBodyElem::Path(p) => p.segments.iter().any(|(regex, _)| regex.has_star()),
-            _ => false,
-        })
-    });
-    if uses_star && is_recursive(meta) {
-        return Err(KgmError::Analysis(
-            "transitive closure (Kleene star) is only allowed in non-recursive \
-             MetaLog programs (Section 4 tractability rule)"
-                .to_string(),
-        ));
+    {
+        let _s = kgm_runtime::span!("mtv.tractability");
+        let uses_star = meta.rules.iter().any(|r| {
+            r.body.iter().any(|b| match b {
+                MetaBodyElem::Path(p) => {
+                    p.segments.iter().any(|(regex, _)| regex.has_star())
+                }
+                _ => false,
+            })
+        });
+        if uses_star && is_recursive(meta) {
+            return Err(KgmError::Analysis(
+                "transitive closure (Kleene star) is only allowed in non-recursive \
+                 MetaLog programs (Section 4 tractability rule)"
+                    .to_string(),
+            ));
+        }
     }
 
     let mut gen = Gen {
@@ -520,11 +527,19 @@ pub fn translate(meta: &MetaProgram, schema: &PgSchema, graph: &str) -> Result<M
     };
     let mut main_rules: Vec<String> = Vec::new();
 
-    for rule in &meta.rules {
+    for (ri, rule) in meta.rules.iter().enumerate() {
+        let rule_span = kgm_runtime::span!("mtv.rule", "#{ri}");
+        let variants_before = main_rules.len();
+        let aux_before = gen.aux_rules.len();
         translate_rule(&mut gen, rule, &mut main_rules)?;
+        if rule_span.is_active() {
+            telemetry::record("variants", (main_rules.len() - variants_before) as i64);
+            telemetry::record("aux_rules", (gen.aux_rules.len() - aux_before) as i64);
+        }
     }
 
     // Annotations: body labels get @input, head labels @output.
+    let annotation_span = kgm_runtime::span!("mtv.annotations");
     let mut body_node_labels: FxHashSet<String> = FxHashSet::default();
     let mut body_edge_labels: FxHashSet<String> = FxHashSet::default();
     let mut head_labels: FxHashSet<String> = FxHashSet::default();
@@ -594,6 +609,10 @@ pub fn translate(meta: &MetaProgram, schema: &PgSchema, graph: &str) -> Result<M
     for l in sorted_heads {
         annotations.push(format!("@output({l})."));
     }
+    if annotation_span.is_active() {
+        telemetry::record("annotations", annotations.len() as i64);
+    }
+    drop(annotation_span);
 
     let mut source = String::new();
     source.push_str("% Generated by MTV (MetaLog-to-Vadalog translator).\n");
@@ -613,11 +632,21 @@ pub fn translate(meta: &MetaProgram, schema: &PgSchema, graph: &str) -> Result<M
         source.push('\n');
     }
 
-    let program = parse_program(&source).map_err(|e| {
-        KgmError::Translation(format!(
-            "MTV generated invalid Vadalog ({e}); source:\n{source}"
-        ))
-    })?;
+    let program = {
+        let _s = kgm_runtime::span!("mtv.parse", "{} bytes", source.len());
+        parse_program(&source).map_err(|e| {
+            KgmError::Translation(format!(
+                "MTV generated invalid Vadalog ({e}); source:\n{source}"
+            ))
+        })?
+    };
+    if root_span.is_active() {
+        telemetry::record("main_rules", main_rules.len() as i64);
+        telemetry::record("aux_rules", gen.aux_rules.len() as i64);
+        telemetry::record("generated_rules", program.rules.len() as i64);
+    }
+    telemetry::counter_add("mtv.translations", 1);
+    telemetry::counter_add("mtv.generated_rules", program.rules.len() as i64);
     Ok(MtvOutput {
         vadalog_source: source,
         program,

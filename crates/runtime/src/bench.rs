@@ -175,36 +175,48 @@ impl Criterion {
         out
     }
 
-    /// Write the JSON report to `target/kgm-bench/<name>.json`; returns the
-    /// path written.
+    /// Write the JSON report to `target/kgm-bench/<name>.json` and mirror
+    /// it to `<repo-root>/BENCH_<name>.json` (the accumulating perf
+    /// trajectory tracked in version control); returns the primary path.
     pub fn write_json(&self, name: &str) -> std::io::Result<PathBuf> {
-        let dir = bench_report_dir();
+        let target = target_dir();
+        let dir = target.join("kgm-bench");
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{name}.json"));
-        std::fs::write(&path, self.to_json())?;
+        let json = self.to_json();
+        std::fs::write(&path, &json)?;
+        // Best-effort mirror: the repo root is the parent of the target dir
+        // (or the cwd when discovery fell back to a relative `target`).
+        let root = match target.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let _ = std::fs::write(root.join(format!("BENCH_{name}.json")), &json);
         Ok(path)
     }
 }
 
-/// Directory for JSON reports: `<target>/kgm-bench`, located from the
-/// running bench executable (`target/<profile>/deps/<bin>`), falling back
-/// to `./target/kgm-bench`.
-fn bench_report_dir() -> PathBuf {
+/// The cargo target directory, located from the running executable: walk
+/// its ancestors past a `deps` component (bench/test binaries live at
+/// `target/<profile>/deps/<bin>-<hash>`) or to a component literally named
+/// `target` (plain binaries at `target/<profile>/<bin>`), falling back to a
+/// relative `target`.
+pub fn target_dir() -> PathBuf {
     if let Ok(exe) = std::env::current_exe() {
-        // exe = <target>/<profile>/deps/<bin-hash>; walk up past `deps`.
         let mut dir = exe.parent();
         while let Some(d) = dir {
             if d.file_name().is_some_and(|n| n == "deps") {
-                if let Some(profile) = d.parent() {
-                    if let Some(target) = profile.parent() {
-                        return target.join("kgm-bench");
-                    }
+                if let Some(target) = d.parent().and_then(|p| p.parent()) {
+                    return target.to_path_buf();
                 }
+            }
+            if d.file_name().is_some_and(|n| n == "target") {
+                return d.to_path_buf();
             }
             dir = d.parent();
         }
     }
-    PathBuf::from("target").join("kgm-bench")
+    PathBuf::from("target")
 }
 
 fn escape_json(s: &str) -> String {

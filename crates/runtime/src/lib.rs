@@ -11,8 +11,10 @@
 //! | [`par`]   | `crossbeam`   | scope-based parallel map (`std::thread::scope`) |
 //! | [`prop`]  | `proptest`    | seeded property tests with shrinking, `prop_assert!` |
 //! | [`bench`] | `criterion`   | warmup/calibrated micro-benchmarks with JSON reports |
+//! | [`telemetry`] | `tracing` + `metrics` | hierarchical spans, counters/gauges/histograms, console + JSONL sinks |
+//! | [`json`]  | `serde_json` (validation only) | JSON/JSONL well-formedness checks for emitted artefacts |
 //!
-//! (The sixth removed dependency, `serde`, is replaced by hand-rolled
+//! (The remaining removed dependency, `serde`, is replaced by hand-rolled
 //! `to_text`/`from_text` codecs in `kgm-common` itself.)
 //!
 //! Everything is deterministic by construction: the PRNG is seeded
@@ -20,11 +22,14 @@
 //! sharding preserves input order.
 
 pub mod bench;
+pub mod json;
 pub mod par;
 pub mod prop;
 pub mod rng;
 pub mod sync;
+pub mod telemetry;
 
 pub use par::{default_threads, map_shards, par_map};
 pub use rng::{split_mix64, Rng, SampleUniform};
 pub use sync::{Mutex, RwLock};
+pub use telemetry::{Collector, MetricsSnapshot, SpanGuard, SpanNode, Verbosity};

@@ -24,9 +24,11 @@ use crate::eval::{eval, EvalCtx};
 use kgm_common::{
     FxHashMap, FxHashSet, KgmError, Oid, OidGen, OidSpace, Result, SkolemRegistry, Value,
 };
+use kgm_runtime::telemetry;
 use std::cell::RefCell;
 use std::ops::Range;
 use std::sync::Arc;
+use std::time::Instant;
 
 // ---------------------------------------------------------------------
 // Fact storage
@@ -243,7 +245,7 @@ impl Default for EngineConfig {
 }
 
 /// Statistics of one reasoning run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Number of strata executed.
     pub strata: usize,
@@ -253,6 +255,60 @@ pub struct RunStats {
     pub derived_facts: usize,
     /// Labelled nulls minted for existentials.
     pub nulls_created: usize,
+    /// Emitted head tuples already present in the database.
+    pub duplicates_rejected: usize,
+    /// Wall-clock time of the whole run in milliseconds.
+    pub elapsed_ms: f64,
+    /// Per-stratum and per-rule breakdown.
+    pub profile: ChaseProfile,
+}
+
+/// Per-stratum and per-rule breakdown of one chase run — the detail behind
+/// the [`RunStats`] totals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaseProfile {
+    /// One entry per executed stratum, in execution order.
+    pub strata: Vec<StratumProfile>,
+    /// One entry per program rule, indexed by rule number (rules that never
+    /// ran keep zeroed counters).
+    pub rules: Vec<RuleProfile>,
+}
+
+/// Chase counters for one stratum.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StratumProfile {
+    /// Stratum number (0-based, execution order).
+    pub stratum: usize,
+    /// Fixpoint iterations run in this stratum.
+    pub iterations: usize,
+    /// Facts newly inserted by this stratum's rules.
+    pub derived_facts: usize,
+    /// Emitted tuples rejected as duplicates in this stratum.
+    pub duplicates_rejected: usize,
+    /// Labelled nulls minted while this stratum ran.
+    pub nulls_minted: usize,
+    /// Wall-clock milliseconds spent in this stratum.
+    pub elapsed_ms: f64,
+}
+
+/// Chase counters for one rule, accumulated across all its evaluations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleProfile {
+    /// Rule index in the program.
+    pub rule: usize,
+    /// Head predicate(s) of the rule, comma-joined — for human-readable
+    /// reports.
+    pub head: String,
+    /// Total evaluation calls (full passes plus delta-restricted passes).
+    pub evaluations: usize,
+    /// Evaluations restricted to a delta of one body atom.
+    pub delta_evaluations: usize,
+    /// Complete body matches enumerated (join results reaching the head).
+    pub bindings_enumerated: usize,
+    /// Head tuples emitted (before database deduplication).
+    pub facts_emitted: usize,
+    /// Wall-clock milliseconds spent evaluating this rule.
+    pub elapsed_ms: f64,
 }
 
 struct MonoState {
@@ -396,8 +452,36 @@ impl Engine {
     }
 
     /// Run the chase to fixpoint over `db`.
+    ///
+    /// Emits a `chase.run` telemetry span with one `chase.stratum` child per
+    /// stratum and one `chase.rule` leaf per evaluated rule; the same
+    /// numbers are returned in [`RunStats::profile`] regardless of whether
+    /// any sink is listening.
     pub fn run(&self, db: &mut FactDb) -> Result<RunStats> {
+        let root_span = kgm_runtime::span!(
+            "chase.run",
+            "{} rules, {} strata",
+            self.program.rules.len(),
+            self.analysis.stratification.count
+        );
+        let t_run = Instant::now();
         let mut stats = RunStats::default();
+        stats.profile.rules = self
+            .program
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(ri, rule)| RuleProfile {
+                rule: ri,
+                head: rule
+                    .head
+                    .iter()
+                    .map(|h| h.predicate.as_str())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                ..RuleProfile::default()
+            })
+            .collect();
         for f in &self.program.facts {
             let tuple: Vec<Value> = f
                 .terms
@@ -417,19 +501,34 @@ impl Engine {
         let strata = self.analysis.stratification.count;
         stats.strata = strata;
         for s in 0..strata {
+            let stratum_span = kgm_runtime::span!("chase.stratum", "{s}");
+            let t_stratum = Instant::now();
+            let iters_before = stats.iterations;
+            let derived_before = stats.derived_facts;
+            let dups_before = stats.duplicates_rejected;
+            let nulls_before = null_gen.count() as usize;
             // 1. Exact aggregate rules of this stratum (body is complete).
             for (ri, rule) in self.program.rules.iter().enumerate() {
                 if self.meta[ri].stratum != s {
                     continue;
                 }
                 if self.meta[ri].agg_mode == Some(AggMode::Exact) {
+                    let t_rule = Instant::now();
                     let new_facts =
                         self.eval_exact_agg_rule(db, ri, rule, &null_gen, &mut nulls)?;
+                    let emitted = new_facts.len();
+                    let mut inserted = 0usize;
                     for (pred, tuple) in new_facts {
                         if db.insert(&pred, tuple)? {
-                            stats.derived_facts += 1;
+                            inserted += 1;
                         }
                     }
+                    stats.derived_facts += inserted;
+                    stats.duplicates_rejected += emitted - inserted;
+                    let prof = &mut stats.profile.rules[ri];
+                    prof.evaluations += 1;
+                    prof.facts_emitted += emitted;
+                    prof.elapsed_ms += t_rule.elapsed().as_secs_f64() * 1e3;
                 }
             }
             // 2. Semi-naive fixpoint over the remaining rules of the stratum.
@@ -439,6 +538,8 @@ impl Engine {
                 })
                 .collect();
             if rules.is_empty() {
+                self.close_stratum(&mut stats, s, &stratum_span, t_stratum, iters_before,
+                    derived_before, dups_before, nulls_before, null_gen.count() as usize);
                 continue;
             }
             // Delta bookkeeping: predicate → length before this iteration.
@@ -452,6 +553,7 @@ impl Engine {
                     if first {
                         self.eval_rule(
                             db, ri, rule, None, &null_gen, &mut nulls, &mut mono, &mut out,
+                            &mut stats.profile.rules[ri],
                         )?;
                     } else {
                         // Delta-restricted runs: one per body atom whose
@@ -469,6 +571,7 @@ impl Engine {
                                     &mut nulls,
                                     &mut mono,
                                     &mut out,
+                                    &mut stats.profile.rules[ri],
                                 )?;
                             }
                         }
@@ -485,6 +588,7 @@ impl Engine {
                 for p in preds {
                     watermark.insert(p.clone(), db.len(p));
                 }
+                let emitted = out.len();
                 let mut inserted = 0usize;
                 for (pred, tuple) in out {
                     if db.insert(&pred, tuple)? {
@@ -492,6 +596,7 @@ impl Engine {
                     }
                 }
                 stats.derived_facts += inserted;
+                stats.duplicates_rejected += emitted - inserted;
                 if db.total_facts() > self.config.max_facts {
                     return Err(KgmError::ResourceExhausted(format!(
                         "fact cap exceeded ({} facts)",
@@ -506,9 +611,70 @@ impl Engine {
                 }
                 first = false;
             }
+            self.close_stratum(&mut stats, s, &stratum_span, t_stratum, iters_before,
+                derived_before, dups_before, nulls_before, null_gen.count() as usize);
         }
         stats.nulls_created = null_gen.count() as usize;
+        stats.elapsed_ms = t_run.elapsed().as_secs_f64() * 1e3;
+        if root_span.is_active() {
+            for rp in &stats.profile.rules {
+                if rp.evaluations == 0 {
+                    continue;
+                }
+                telemetry::annotate_child(
+                    "chase.rule",
+                    &rp.head,
+                    (rp.elapsed_ms * 1e6) as u128,
+                    vec![
+                        ("evals".to_string(), rp.evaluations as i64),
+                        ("delta_evals".to_string(), rp.delta_evaluations as i64),
+                        ("bindings".to_string(), rp.bindings_enumerated as i64),
+                        ("emitted".to_string(), rp.facts_emitted as i64),
+                    ],
+                );
+            }
+            telemetry::record("derived", stats.derived_facts as i64);
+            telemetry::record("duplicates", stats.duplicates_rejected as i64);
+            telemetry::record("nulls", stats.nulls_created as i64);
+        }
+        telemetry::counter_add("chase.runs", 1);
+        telemetry::counter_add("chase.facts_derived", stats.derived_facts as i64);
+        telemetry::counter_add("chase.duplicates_rejected", stats.duplicates_rejected as i64);
+        telemetry::counter_add("chase.nulls_created", stats.nulls_created as i64);
+        telemetry::histogram_record("chase.iterations_per_run", stats.iterations as u64);
         Ok(stats)
+    }
+
+    /// Finish one stratum's bookkeeping: push its [`StratumProfile`] and
+    /// mirror the counters onto the open `chase.stratum` span.
+    #[allow(clippy::too_many_arguments)]
+    fn close_stratum(
+        &self,
+        stats: &mut RunStats,
+        s: usize,
+        span: &telemetry::SpanGuard,
+        t_stratum: Instant,
+        iters_before: usize,
+        derived_before: usize,
+        dups_before: usize,
+        nulls_before: usize,
+        nulls_now: usize,
+    ) {
+        let sp = StratumProfile {
+            stratum: s,
+            iterations: stats.iterations - iters_before,
+            derived_facts: stats.derived_facts - derived_before,
+            duplicates_rejected: stats.duplicates_rejected - dups_before,
+            nulls_minted: nulls_now - nulls_before,
+            elapsed_ms: t_stratum.elapsed().as_secs_f64() * 1e3,
+        };
+        if span.is_active() {
+            telemetry::record("iterations", sp.iterations as i64);
+            telemetry::record("derived", sp.derived_facts as i64);
+            telemetry::record("duplicates", sp.duplicates_rejected as i64);
+            telemetry::record("nulls", sp.nulls_minted as i64);
+        }
+        stats.profile.strata.push(sp);
     }
 
     /// Convenience: run over the given input facts and return the database.
@@ -539,18 +705,33 @@ impl Engine {
         nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
         mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
         out: &mut Vec<(String, Vec<Value>)>,
+        prof: &mut RuleProfile,
     ) -> Result<()> {
+        let t_rule = Instant::now();
+        let emitted_before = out.len();
+        let mut bindings = 0usize;
         let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
         let order = join_order(rule, delta.as_ref().map(|(ai, _)| *ai));
-        self.join(
+        let result = self.join(
             db,
             rule,
             &order,
             0,
             &delta,
             &mut binding,
-            &mut |binding| self.fire(db, ri, rule, binding, null_gen, nulls, mono, out),
-        )
+            &mut |binding| {
+                bindings += 1;
+                self.fire(db, ri, rule, binding, null_gen, nulls, mono, out)
+            },
+        );
+        prof.evaluations += 1;
+        if delta.is_some() {
+            prof.delta_evaluations += 1;
+        }
+        prof.bindings_enumerated += bindings;
+        prof.facts_emitted += out.len() - emitted_before;
+        prof.elapsed_ms += t_rule.elapsed().as_secs_f64() * 1e3;
+        result
     }
 
     /// Join body atoms in `order[pos..]`, invoking `on_match` on full

@@ -49,12 +49,15 @@ pub mod engine;
 pub mod eval;
 pub mod parser;
 pub mod printer;
+pub mod stats;
 
 pub use analysis::{ProgramAnalysis, Stratification};
 pub use ast::{
     Aggregate, AggregateFunc, Atom, Expr, Program, Rule, RuleStep, Term, Var,
 };
 pub use bindings::{InputBinding, InputSource, OutputBinding, SourceRegistry};
-pub use engine::{Engine, EngineConfig, FactDb, RunStats};
+pub use engine::{
+    ChaseProfile, Engine, EngineConfig, FactDb, RuleProfile, RunStats, StratumProfile,
+};
 pub use parser::parse_program;
 pub use printer::to_source;

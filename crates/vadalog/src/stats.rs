@@ -1,0 +1,252 @@
+//! Line-oriented text codec for [`RunStats`] / [`ChaseProfile`], in the
+//! style of the `kgm-common` codecs (`SkolemRegistry::to_text` & friends):
+//! one `|`-delimited record per line, record type first, strings escaped
+//! with [`kgm_common::codec::escape`]. The format is what the paper harness
+//! prints for chase runs — diffable in artefact directories and parseable
+//! without JSON machinery.
+//!
+//! ```text
+//! run|<strata>|<iterations>|<derived>|<nulls>|<duplicates>|<elapsed_ms>
+//! stratum|<idx>|<iterations>|<derived>|<duplicates>|<nulls>|<elapsed_ms>
+//! rule|<idx>|<head>|<evals>|<delta_evals>|<bindings>|<emitted>|<elapsed_ms>
+//! ```
+//!
+//! Exactly one `run` line (first), then zero or more `stratum` and `rule`
+//! lines in any order. Elapsed times round-trip at microsecond precision
+//! (`{:.3}` ms).
+
+use crate::engine::{ChaseProfile, RuleProfile, RunStats, StratumProfile};
+use kgm_common::codec::{escape, unescape, CodecError};
+
+impl RunStats {
+    /// Serialize to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run|{}|{}|{}|{}|{}|{:.3}\n",
+            self.strata,
+            self.iterations,
+            self.derived_facts,
+            self.nulls_created,
+            self.duplicates_rejected,
+            self.elapsed_ms,
+        ));
+        for s in &self.profile.strata {
+            out.push_str(&format!(
+                "stratum|{}|{}|{}|{}|{}|{:.3}\n",
+                s.stratum,
+                s.iterations,
+                s.derived_facts,
+                s.duplicates_rejected,
+                s.nulls_minted,
+                s.elapsed_ms,
+            ));
+        }
+        for r in &self.profile.rules {
+            out.push_str(&format!(
+                "rule|{}|{}|{}|{}|{}|{}|{:.3}\n",
+                r.rule,
+                escape(&r.head),
+                r.evaluations,
+                r.delta_evaluations,
+                r.bindings_enumerated,
+                r.facts_emitted,
+                r.elapsed_ms,
+            ));
+        }
+        out
+    }
+
+    /// Parse the text format produced by [`RunStats::to_text`].
+    pub fn from_text(text: &str) -> Result<RunStats, CodecError> {
+        let mut stats: Option<RunStats> = None;
+        let mut profile = ChaseProfile::default();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let bad =
+                |what: &str| CodecError::new(format!("line {}: {what}", lineno + 1));
+            let fields: Vec<&str> = line.split('|').collect();
+            let nums = |from: usize, expect: usize| -> Result<Vec<usize>, CodecError> {
+                if fields.len() != expect {
+                    return Err(bad(&format!(
+                        "expected {expect} fields, got {}",
+                        fields.len()
+                    )));
+                }
+                fields[from..expect - 1]
+                    .iter()
+                    .map(|f| f.parse().map_err(|_| bad(&format!("bad number {f:?}"))))
+                    .collect()
+            };
+            let ms = |expect: usize| -> Result<f64, CodecError> {
+                fields[expect - 1]
+                    .parse()
+                    .map_err(|_| bad(&format!("bad elapsed {:?}", fields[expect - 1])))
+            };
+            match fields[0] {
+                "run" => {
+                    if stats.is_some() {
+                        return Err(bad("duplicate run record"));
+                    }
+                    let n = nums(1, 7)?;
+                    stats = Some(RunStats {
+                        strata: n[0],
+                        iterations: n[1],
+                        derived_facts: n[2],
+                        nulls_created: n[3],
+                        duplicates_rejected: n[4],
+                        elapsed_ms: ms(7)?,
+                        profile: ChaseProfile::default(),
+                    });
+                }
+                "stratum" => {
+                    let n = nums(1, 7)?;
+                    profile.strata.push(StratumProfile {
+                        stratum: n[0],
+                        iterations: n[1],
+                        derived_facts: n[2],
+                        duplicates_rejected: n[3],
+                        nulls_minted: n[4],
+                        elapsed_ms: ms(7)?,
+                    });
+                }
+                "rule" => {
+                    if fields.len() != 8 {
+                        return Err(bad(&format!(
+                            "expected 8 fields, got {}",
+                            fields.len()
+                        )));
+                    }
+                    let num = |f: &str| -> Result<usize, CodecError> {
+                        f.parse().map_err(|_| bad(&format!("bad number {f:?}")))
+                    };
+                    profile.rules.push(RuleProfile {
+                        rule: num(fields[1])?,
+                        head: unescape(fields[2])
+                            .map_err(|e| bad(&e.to_string()))?,
+                        evaluations: num(fields[3])?,
+                        delta_evaluations: num(fields[4])?,
+                        bindings_enumerated: num(fields[5])?,
+                        facts_emitted: num(fields[6])?,
+                        elapsed_ms: ms(8)?,
+                    });
+                }
+                other => return Err(bad(&format!("unknown record type {other:?}"))),
+            }
+        }
+        let mut stats = stats.ok_or_else(|| CodecError::new("missing run record"))?;
+        stats.profile = profile;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunStats {
+        RunStats {
+            strata: 2,
+            iterations: 5,
+            derived_facts: 42,
+            nulls_created: 3,
+            duplicates_rejected: 7,
+            elapsed_ms: 1.5,
+            profile: ChaseProfile {
+                strata: vec![
+                    StratumProfile {
+                        stratum: 0,
+                        iterations: 3,
+                        derived_facts: 40,
+                        duplicates_rejected: 7,
+                        nulls_minted: 3,
+                        elapsed_ms: 1.25,
+                    },
+                    StratumProfile {
+                        stratum: 1,
+                        iterations: 2,
+                        derived_facts: 2,
+                        duplicates_rejected: 0,
+                        nulls_minted: 0,
+                        elapsed_ms: 0.125,
+                    },
+                ],
+                rules: vec![RuleProfile {
+                    rule: 0,
+                    head: "path,odd|name".to_string(),
+                    evaluations: 4,
+                    delta_evaluations: 3,
+                    bindings_enumerated: 100,
+                    facts_emitted: 49,
+                    elapsed_ms: 0.75,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let stats = sample();
+        let text = stats.to_text();
+        let parsed = RunStats::from_text(&text).unwrap();
+        assert_eq!(parsed, stats);
+    }
+
+    #[test]
+    fn format_is_line_oriented_and_pipe_escaped() {
+        let text = sample().to_text();
+        assert!(text.starts_with("run|2|5|42|3|7|1.500\n"), "{text}");
+        assert_eq!(text.lines().count(), 4);
+        assert!(
+            text.contains("rule|0|path,odd\\pname|4|3|100|49|0.750"),
+            "head with a pipe must be escaped: {text}"
+        );
+    }
+
+    #[test]
+    fn live_engine_stats_round_trip() {
+        let program = crate::parse_program(
+            "edge(X,Y) -> path(X,Y). path(X,Y), edge(Y,Z) -> path(X,Z).",
+        )
+        .unwrap();
+        let engine = crate::Engine::new(program).unwrap();
+        let (_, stats) = engine
+            .run_with_facts(&[(
+                "edge",
+                vec![
+                    vec![kgm_common::Value::Int(1), kgm_common::Value::Int(2)],
+                    vec![kgm_common::Value::Int(2), kgm_common::Value::Int(3)],
+                ],
+            )])
+            .unwrap();
+        let parsed = RunStats::from_text(&stats.to_text()).unwrap();
+        assert_eq!(parsed.derived_facts, stats.derived_facts);
+        assert_eq!(parsed.profile.strata.len(), stats.profile.strata.len());
+        assert_eq!(parsed.profile.rules.len(), 2);
+        assert_eq!(parsed.profile.rules[1].head, "path");
+        // Times are rounded to microseconds by the codec; everything else is
+        // exact.
+        assert!((parsed.elapsed_ms - stats.elapsed_ms).abs() < 0.001);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(RunStats::from_text("").is_err(), "missing run record");
+        assert!(RunStats::from_text("run|1|2|3\n").is_err(), "short record");
+        assert!(
+            RunStats::from_text("run|a|2|3|4|5|6.0\n").is_err(),
+            "non-numeric"
+        );
+        let doubled = "run|1|1|1|1|1|1.0\nrun|1|1|1|1|1|1.0\n";
+        assert!(RunStats::from_text(doubled).is_err(), "duplicate run");
+        assert!(
+            RunStats::from_text("run|1|1|1|1|1|1.0\nbogus|1\n").is_err(),
+            "unknown record"
+        );
+        let err = RunStats::from_text("run|1|1|1|1|1|1.0\nstratum|x|1|1|1|1|1.0\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

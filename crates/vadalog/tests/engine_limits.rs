@@ -67,6 +67,114 @@ fn fact_cap_reports_resource_exhaustion() {
 }
 
 #[test]
+fn fact_cap_error_names_the_fact_count() {
+    let program = parse_program("p(X) -> q(X, N). q(X, N) -> p(N).").unwrap();
+    let engine = Engine::with_config(
+        program,
+        EngineConfig {
+            max_facts: 100,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut db = FactDb::new();
+    db.add_facts("p", ints(&[&[1]])).unwrap();
+    let err = engine.run(&mut db).unwrap_err();
+    match err {
+        KgmError::ResourceExhausted(msg) => {
+            assert!(msg.contains("fact cap"), "{msg}");
+            assert!(msg.contains("facts"), "{msg}");
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn delta_watermarks_cover_facts_inserted_mid_iteration() {
+    // Regression test for the semi-naive bookkeeping: watermarks are
+    // advanced to the relation lengths *before* the iteration's new facts
+    // are inserted, so facts landing mid-iteration (derived by an earlier
+    // rule in the same pass) must still be seen by every rule's delta in
+    // the next iteration. A chain of rules feeding each other within one
+    // stratum exercises exactly that path.
+    let src = r#"
+        seed(X) -> a(X).
+        a(X), Y = X + 1 -> b(Y).
+        b(X), Y = X * 10 -> c(Y).
+        c(X), b(Y), X == Y * 10 -> d(X, Y).
+    "#;
+    let engine = Engine::new(parse_program(src).unwrap()).unwrap();
+    let (db, stats) = engine.run_with_facts(&[("seed", ints(&[&[1], &[2]]))]).unwrap();
+    // seed {1,2} → a {1,2} → b {2,3} → c {20,30} → d {(20,2),(30,3)}.
+    // The d rule joins c (inserted in a later iteration than b) against b;
+    // if a watermark skipped the mid-iteration inserts, d would be empty.
+    assert_eq!(db.len("a"), 2);
+    assert_eq!(db.len("b"), 2);
+    assert_eq!(db.len("c"), 2);
+    assert!(db.contains("d", &[Value::Int(20), Value::Int(2)]));
+    assert!(db.contains("d", &[Value::Int(30), Value::Int(3)]));
+    assert_eq!(stats.derived_facts, 8);
+    // Nothing may be double-derived: every delta covers each fact once, so
+    // the only duplicates come from genuinely re-derivable tuples (none
+    // here).
+    assert_eq!(stats.duplicates_rejected, 0);
+}
+
+#[test]
+fn chase_profile_reports_per_stratum_and_per_rule_counters() {
+    let program = parse_program(
+        "edge(X,Y) -> path(X,Y). path(X,Y), edge(Y,Z) -> path(X,Z).",
+    )
+    .unwrap();
+    let engine = Engine::new(program).unwrap();
+    let edges: Vec<Vec<Value>> = (0..10i64)
+        .map(|i| vec![Value::Int(i), Value::Int(i + 1)])
+        .collect();
+    let (_, stats) = engine.run_with_facts(&[("edge", edges)]).unwrap();
+
+    // Totals line up with the per-stratum breakdown.
+    assert_eq!(stats.profile.strata.len(), stats.strata);
+    let strata_iters: usize = stats.profile.strata.iter().map(|s| s.iterations).sum();
+    assert_eq!(strata_iters, stats.iterations);
+    let strata_derived: usize =
+        stats.profile.strata.iter().map(|s| s.derived_facts).sum();
+    assert_eq!(strata_derived, stats.derived_facts);
+    let strata_dups: usize =
+        stats.profile.strata.iter().map(|s| s.duplicates_rejected).sum();
+    assert_eq!(strata_dups, stats.duplicates_rejected);
+
+    // Per-rule counters: both rules ran, the recursive one under deltas.
+    assert_eq!(stats.profile.rules.len(), 2);
+    let copy = &stats.profile.rules[0];
+    let rec = &stats.profile.rules[1];
+    assert_eq!(copy.head, "path");
+    assert!(copy.evaluations >= 1);
+    assert_eq!(copy.facts_emitted, 10, "one path per edge");
+    assert!(rec.delta_evaluations >= 1, "recursion runs delta-restricted");
+    assert!(rec.bindings_enumerated >= rec.facts_emitted);
+    // The transitive closure of a 10-chain has 55 pairs; 10 were copies.
+    assert_eq!(stats.derived_facts, 55);
+    assert!(stats.elapsed_ms >= 0.0);
+    assert!(stats.profile.strata[0].elapsed_ms >= 0.0);
+}
+
+#[test]
+fn profile_survives_the_text_codec_round_trip() {
+    let engine = Engine::new(
+        parse_program("b(X) -> c(X, N). c(X, N) -> d(N, X).").unwrap(),
+    )
+    .unwrap();
+    let (_, stats) = engine.run_with_facts(&[("b", ints(&[&[1], &[2]]))]).unwrap();
+    assert!(stats.nulls_created >= 2);
+    let parsed = kgm_vadalog::RunStats::from_text(&stats.to_text()).unwrap();
+    assert_eq!(parsed.nulls_created, stats.nulls_created);
+    assert_eq!(parsed.profile.strata.len(), stats.profile.strata.len());
+    let nulls_by_stratum: usize =
+        parsed.profile.strata.iter().map(|s| s.nulls_minted).sum();
+    assert_eq!(nulls_by_stratum, stats.nulls_created);
+}
+
+#[test]
 fn annotation_driven_inputs_load_from_a_registered_graph() {
     // The Example 4.2/4.4 mechanics end to end: a program whose inputs are
     // declared as @input annotations against a named graph.

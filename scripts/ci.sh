@@ -4,6 +4,8 @@
 # 1. Guard: no workspace manifest may depend on anything outside the
 #    workspace (all deps must be kgm-* path crates).
 # 2. Build + test fully offline — proves an empty cargo registry suffices.
+# 3. Observability smoke: a profiled harness run must produce a valid JSON
+#    run report and refresh the repo-root BENCH_*.json perf trajectory.
 #
 # Usage: scripts/ci.sh [--skip-tests]
 
@@ -56,5 +58,22 @@ if [ "${1:-}" != "--skip-tests" ]; then
     echo "== offline tests =="
     cargo test -q --offline --workspace
 fi
+
+echo "== observability smoke =="
+rm -f BENCH_chase.json BENCH_control_pipeline.json \
+    target/paper-artifacts/run_report_e7.json
+KGM_LOG=summary cargo run --release --offline -q -p kgm-bench \
+    --bin paper-harness -- e7 150 --profile >/dev/null
+for f in target/paper-artifacts/run_report_e7.json \
+    BENCH_chase.json BENCH_control_pipeline.json; do
+    if [ ! -f "$f" ]; then
+        echo "ERROR: profiled run did not produce $f" >&2
+        exit 1
+    fi
+done
+cargo run --release --offline -q -p kgm-bench --bin paper-harness -- \
+    validate-json target/paper-artifacts/run_report_e7.json \
+    BENCH_chase.json BENCH_control_pipeline.json
+echo "ok: run report + BENCH mirrors written and valid"
 
 echo "ci: all checks passed"
