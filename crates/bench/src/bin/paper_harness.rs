@@ -26,6 +26,9 @@
 //!                              # BENCH_chase.json / BENCH_control_pipeline.json
 //! paper-harness e7 --trace     # force the JSONL trace sink on
 //!                              # (target/kgm-trace/trace-<pid>.jsonl)
+//! paper-harness e7 --threads 4 # pin the chase worker count for the whole
+//!                              # run (sets KGM_THREADS; output is
+//!                              # bit-identical for any value)
 //! KGM_LOG=span paper-harness … # print the live span tree to stderr
 //! paper-harness validate-json FILE…   # exit non-zero unless every FILE is
 //!                                     # valid JSON (CI smoke helper)
@@ -33,7 +36,7 @@
 
 use kgm_bench::*;
 use kgm_core::intensional::MaterializationMode;
-use kgm_finance::control::control_vadalog;
+use kgm_finance::control::{control_vadalog, control_vadalog_threads};
 use kgm_runtime::telemetry;
 use std::fs;
 use std::path::PathBuf;
@@ -118,8 +121,9 @@ fn run_e10(nodes: usize) {
 }
 
 /// Refresh the two repo-root perf-trajectory files with a quick in-process
-/// bench pass: the raw chase (direct Vadalog control program) and the full
-/// Algorithm 2 control pipeline.
+/// bench pass: the raw chase (direct Vadalog control program, at the
+/// env-default worker count plus pinned 1-thread and N-thread runs for the
+/// parallel-chase trajectory) and the full Algorithm 2 control pipeline.
 fn refresh_bench_reports() {
     let mut criterion = kgm_runtime::bench::Criterion::new();
     let g = bench_graph(400);
@@ -130,6 +134,21 @@ fn refresh_bench_reports() {
             kgm_runtime::bench::BenchmarkId::from_parameter(400),
             &g,
             |b, g| b.iter(|| control_vadalog(g).expect("chase bench")),
+        );
+        group.finish();
+    }
+    // 1-vs-N wall-clock for the sharded chase. N is the configured worker
+    // count, floored at 4 so single-core runners still record a parallel
+    // column (expect no speedup there — the comparison is honest, not
+    // flattering).
+    let wide = kgm_runtime::par::threads_from_env().max(4);
+    for t in [1, wide] {
+        let mut group = criterion.benchmark_group(format!("chase/control_vadalog_t{t}"));
+        group.sample_size(3);
+        group.bench_with_input(
+            kgm_runtime::bench::BenchmarkId::from_parameter(400),
+            &g,
+            |b, g| b.iter(|| control_vadalog_threads(g, t).expect("chase bench")),
         );
         group.finish();
     }
@@ -202,11 +221,25 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let profile = raw.iter().any(|a| a == "--profile");
     let trace = raw.iter().any(|a| a == "--trace");
-    let args: Vec<String> = raw
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+    // `--threads N` (or `--threads=N`) pins the chase worker count for the
+    // whole run by setting KGM_THREADS before any engine is constructed —
+    // every EngineConfig::default() downstream picks it up. Results are
+    // bit-identical for any value; only wall-clock changes.
+    let mut threads_flag: Option<usize> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut iter = raw.iter().peekable();
+    while let Some(a) = iter.next() {
+        if let Some(v) = a.strip_prefix("--threads=") {
+            threads_flag = v.parse().ok();
+        } else if a == "--threads" {
+            threads_flag = iter.next().and_then(|s| s.parse().ok());
+        } else if !a.starts_with("--") {
+            args.push(a.clone());
+        }
+    }
+    if let Some(n) = threads_flag {
+        std::env::set_var("KGM_THREADS", n.max(1).to_string());
+    }
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     if cmd == "validate-json" {
         validate_json_files(&args[1..]);

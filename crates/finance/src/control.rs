@@ -36,9 +36,27 @@ controls(X, Z), own(Z, Y, W), V = msum(W, <Z>), V > 0.5 -> controls(X, Y).
 "#;
 
 /// Run the Example 4.2 Vadalog program over a shareholding graph and return
-/// the non-reflexive control pairs (as node OID payload pairs).
+/// the non-reflexive control pairs (as node OID payload pairs). The chase
+/// worker count comes from `KGM_THREADS` (via [`EngineConfig::default`]);
+/// use [`control_vadalog_threads`] to pin it explicitly.
 pub fn control_vadalog(g: &PropertyGraph) -> Result<(FxHashSet<(u64, u64)>, RunStats)> {
-    let engine = Engine::with_config(parse_program(CONTROL_VADALOG)?, EngineConfig::default())?;
+    control_vadalog_threads(g, EngineConfig::default().threads)
+}
+
+/// [`control_vadalog`] with an explicit chase worker count — the entry point
+/// the bench harness uses to compare 1-thread and N-thread wall-clock on the
+/// same graph. Output is bit-identical across counts (see `Engine::run`).
+pub fn control_vadalog_threads(
+    g: &PropertyGraph,
+    threads: usize,
+) -> Result<(FxHashSet<(u64, u64)>, RunStats)> {
+    let engine = Engine::with_config(
+        parse_program(CONTROL_VADALOG)?,
+        EngineConfig {
+            threads,
+            ..Default::default()
+        },
+    )?;
     let mut db = FactDb::new();
     let companies: Vec<Vec<Value>> = g
         .nodes_with_label("Business")
@@ -171,6 +189,15 @@ mod tests {
         let g = tiny();
         let (v, _) = control_vadalog(&g).unwrap();
         assert_eq!(v, baseline_control(&g));
+    }
+
+    #[test]
+    fn threaded_entry_point_matches_default_and_baseline() {
+        let g = tiny();
+        let (v1, _) = control_vadalog_threads(&g, 1).unwrap();
+        let (v4, _) = control_vadalog_threads(&g, 4).unwrap();
+        assert_eq!(v1, v4, "worker count must not change the answer");
+        assert_eq!(v1, baseline_control(&g));
     }
 
     #[test]

@@ -22,45 +22,146 @@ use crate::graph::{NodeId, PropertyGraph};
 use kgm_common::{FxHashMap, KgmError, Oid, Result, Value, ValueType};
 
 fn quote(field: &str) -> String {
-    if field.contains([',', '"', '\n']) {
+    if field.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_string()
     }
 }
 
-fn split_line(line: &str) -> Result<Vec<String>> {
-    let mut out = Vec::new();
+/// Per-field parser state for [`parse_document`].
+enum FieldState {
+    /// Nothing consumed yet — a `"` here opens a quoted field.
+    Start,
+    /// Inside an unquoted field — a bare `"` here is malformed (RFC 4180).
+    Unquoted,
+    /// Inside a quoted field — commas and newlines are literal.
+    Quoted,
+    /// A closing `"` was just consumed — only a delimiter may follow.
+    QuoteEnd,
+}
+
+/// Split a CSV document into records per RFC 4180: quoted fields may contain
+/// commas, escaped quotes (`""`) and newlines; blank lines between records
+/// are skipped. Rejects a bare `"` inside an unquoted field (`a"b`) and any
+/// character other than a delimiter after a closing quote (`"a"b`) — both
+/// used to corrupt the row silently by flipping the quote state mid-field.
+fn parse_document(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut fields: Vec<String> = Vec::new();
     let mut field = String::new();
-    let mut chars = line.chars().peekable();
-    let mut in_quotes = false;
+    let mut state = FieldState::Start;
+    let mut chars = text.chars().peekable();
+    let bad = |what: String, field: &str| {
+        KgmError::parse("CSV", format!("{what} (near `{field}`)"))
+    };
     while let Some(c) = chars.next() {
-        if in_quotes {
-            if c == '"' {
-                if chars.peek() == Some(&'"') {
-                    chars.next();
-                    field.push('"');
-                } else {
-                    in_quotes = false;
-                }
-            } else {
-                field.push(c);
-            }
+        // Normalize CRLF to a record terminator outside quotes.
+        let c = if c == '\r'
+            && chars.peek() == Some(&'\n')
+            && !matches!(state, FieldState::Quoted)
+        {
+            chars.next();
+            '\n'
         } else {
-            match c {
-                '"' => in_quotes = true,
+            c
+        };
+        match state {
+            FieldState::Start => match c {
+                '"' => state = FieldState::Quoted,
+                ',' => fields.push(std::mem::take(&mut field)),
+                '\n' => {
+                    if !fields.is_empty() || !field.is_empty() {
+                        fields.push(std::mem::take(&mut field));
+                        records.push(std::mem::take(&mut fields));
+                    }
+                    // A lone newline is a blank line: skip it.
+                }
+                _ => {
+                    field.push(c);
+                    state = FieldState::Unquoted;
+                }
+            },
+            FieldState::Unquoted => match c {
+                '"' => {
+                    return Err(bad(
+                        "bare `\"` inside an unquoted field".to_string(),
+                        &field,
+                    ))
+                }
                 ',' => {
-                    out.push(std::mem::take(&mut field));
+                    fields.push(std::mem::take(&mut field));
+                    state = FieldState::Start;
+                }
+                '\n' => {
+                    fields.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut fields));
+                    state = FieldState::Start;
                 }
                 _ => field.push(c),
+            },
+            FieldState::Quoted => {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        state = FieldState::QuoteEnd;
+                    }
+                } else {
+                    field.push(c);
+                }
+            }
+            FieldState::QuoteEnd => match c {
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                    state = FieldState::Start;
+                }
+                '\n' => {
+                    fields.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut fields));
+                    state = FieldState::Start;
+                }
+                other => {
+                    return Err(bad(
+                        format!("`{other}` after a closing quote"),
+                        &field,
+                    ))
+                }
+            },
+        }
+    }
+    match state {
+        FieldState::Quoted => {
+            return Err(bad("unterminated quote".to_string(), &field));
+        }
+        FieldState::Unquoted | FieldState::QuoteEnd => {
+            fields.push(field);
+            records.push(fields);
+        }
+        FieldState::Start => {
+            if !fields.is_empty() || !field.is_empty() {
+                fields.push(field);
+                records.push(fields);
             }
         }
     }
-    if in_quotes {
-        return Err(KgmError::parse("CSV", format!("unterminated quote: {line}")));
+    Ok(records)
+}
+
+/// Parse one record (kept for targeted tests; quoted fields may still embed
+/// newlines, but the text must form a single record).
+#[cfg(test)]
+fn split_line(line: &str) -> Result<Vec<String>> {
+    let mut records = parse_document(line)?;
+    match records.len() {
+        0 => Ok(vec![String::new()]),
+        1 => Ok(records.pop().expect("one record")),
+        n => Err(KgmError::parse(
+            "CSV",
+            format!("expected one record, found {n}: {line}"),
+        )),
     }
-    out.push(field);
-    Ok(out)
 }
 
 fn value_to_fields(v: &Value) -> (String, String) {
@@ -158,15 +259,14 @@ pub fn import(nodes_csv: &str, edges_csv: &str) -> Result<PropertyGraph> {
     // Accumulate node rows: oid → (labels, props)
     let mut node_rows: Vec<(u64, Vec<String>, Vec<(String, Value)>)> = Vec::new();
     let mut node_index: FxHashMap<u64, usize> = FxHashMap::default();
-    for (i, line) in nodes_csv.lines().enumerate() {
-        if i == 0 || line.is_empty() {
-            continue;
+    for (i, f) in parse_document(nodes_csv)?.into_iter().enumerate() {
+        if i == 0 {
+            continue; // header
         }
-        let f = split_line(line)?;
         if f.len() != 5 {
             return Err(KgmError::parse(
                 "CSV",
-                format!("node row must have 5 fields: {line}"),
+                format!("node row must have 5 fields: {f:?}"),
             ));
         }
         let oid: u64 = f[0]
@@ -193,15 +293,14 @@ pub fn import(nodes_csv: &str, edges_csv: &str) -> Result<PropertyGraph> {
 
     let mut edge_rows: Vec<(u64, String, u64, u64, Vec<(String, Value)>)> = Vec::new();
     let mut edge_index: FxHashMap<u64, usize> = FxHashMap::default();
-    for (i, line) in edges_csv.lines().enumerate() {
-        if i == 0 || line.is_empty() {
-            continue;
+    for (i, f) in parse_document(edges_csv)?.into_iter().enumerate() {
+        if i == 0 {
+            continue; // header
         }
-        let f = split_line(line)?;
         if f.len() != 7 {
             return Err(KgmError::parse(
                 "CSV",
-                format!("edge row must have 7 fields: {line}"),
+                format!("edge row must have 7 fields: {f:?}"),
             ));
         }
         let parse_u64 = |s: &str| {
@@ -287,17 +386,62 @@ mod tests {
 
     #[test]
     fn quoting_round_trips() {
-        for s in ["plain", "with,comma", "with\"quote", "with\nnewline-ish"] {
-            // newline in fields is not generated by our exporter, but quoting
-            // must still parse single-line quoted commas/quotes.
-            if s.contains('\n') {
-                continue;
-            }
+        for s in [
+            "plain",
+            "with,comma",
+            "with\"quote",
+            "with\nnewline",
+            "\"leading",
+            "trailing\"",
+            ",\"\n,mixed,\"\"\n",
+            "crlf\r\nline",
+        ] {
             let q = quote(s);
             let parsed = split_line(&format!("{q},x")).unwrap();
-            assert_eq!(parsed[0], s);
+            assert_eq!(parsed[0], s, "through {q:?}");
             assert_eq!(parsed[1], "x");
         }
+    }
+
+    #[test]
+    fn bare_quote_in_unquoted_field_is_rejected() {
+        // `a"b,c` used to flip the quote state mid-field and swallow the
+        // comma, silently merging two fields into `ab,c`.
+        let err = split_line("a\"b,c").unwrap_err();
+        assert!(err.to_string().contains("bare"), "{err}");
+        // Junk after a closing quote is equally malformed (RFC 4180).
+        assert!(split_line("\"a\"b,c").is_err());
+        // …and both surface through a full document import.
+        let nodes = "oid,labels,key,type,value\n1,P\"X,,,\n";
+        assert!(import(nodes, "oid,label,from,to,key,type,value\n").is_err());
+    }
+
+    #[test]
+    fn quoted_newlines_round_trip_through_the_graph() {
+        let mut g = PropertyGraph::new();
+        g.add_node(
+            ["Note"],
+            vec![(
+                "text".to_string(),
+                Value::str("line one\nline two, with comma and \"quotes\""),
+            )],
+        )
+        .unwrap();
+        let (n, e) = export(&g);
+        let g2 = import(&n, &e).unwrap();
+        assert_eq!(g2.node_count(), 1);
+        let hits = g2.match_nodes(&crate::pattern::NodePattern::label("Note"));
+        assert_eq!(
+            g2.node_prop(hits[0], "text"),
+            Some(&Value::str("line one\nline two, with comma and \"quotes\""))
+        );
+    }
+
+    #[test]
+    fn blank_lines_and_crlf_are_tolerated() {
+        let nodes = "oid,labels,key,type,value\r\n\r\n1,P,,,\r\n\n2,Q,,,\n";
+        let g = import(nodes, "oid,label,from,to,key,type,value\n").unwrap();
+        assert_eq!(g.node_count(), 2);
     }
 
     #[test]

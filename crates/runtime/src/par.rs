@@ -7,12 +7,49 @@
 //! closure per shard, collect the partial results in shard order.
 
 use std::num::NonZeroUsize;
+use std::ops::Range;
 
 /// A sensible worker count: the machine's parallelism, or 4 if unknown.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(4)
+}
+
+/// The worker count requested through the `KGM_THREADS` environment
+/// variable, falling back to [`default_threads`] when unset, unparsable, or
+/// zero. This is the one knob every parallel consumer (the chase engine, the
+/// paper harness) reads, so `KGM_THREADS=1 …` forces any pipeline
+/// sequential.
+pub fn threads_from_env() -> usize {
+    std::env::var("KGM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(default_threads)
+}
+
+/// Split an index range into at most `parts` contiguous sub-ranges of
+/// near-equal length, in order. The concatenation of the result is exactly
+/// `range`; an empty range yields no parts. This is the sharding schedule
+/// [`map_shards`] applies to slices, exposed for callers that shard *index
+/// spaces* (e.g. a delta range of a relation) instead of materialized
+/// slices.
+pub fn split_range(range: Range<usize>, parts: usize) -> Vec<Range<usize>> {
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.max(1).min(len);
+    let chunk = len.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = range.start;
+    while start < range.end {
+        let end = (start + chunk).min(range.end);
+        out.push(start..end);
+        start = end;
+    }
+    out
 }
 
 /// Split `items` into at most `threads` contiguous shards and run `f` on
@@ -115,5 +152,39 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn split_range_covers_exactly_and_in_order() {
+        for (range, parts) in [
+            (0..10, 3),
+            (5..6, 4),
+            (0..0, 8),
+            (7..107, 1),
+            (3..1000, 16),
+            (0..4, 100),
+        ] {
+            let shards = split_range(range.clone(), parts);
+            let flat: Vec<usize> = shards.iter().flat_map(|r| r.clone()).collect();
+            let expect: Vec<usize> = range.clone().collect();
+            assert_eq!(flat, expect, "range={range:?} parts={parts}");
+            assert!(shards.len() <= parts.max(1));
+            assert!(shards.iter().all(|r| !r.is_empty()));
+        }
+    }
+
+    #[test]
+    fn split_range_matches_map_shards_schedule() {
+        // Sharding indices and sharding the slice must agree, so a range
+        // worker sees exactly the tuples a slice worker would.
+        let items: Vec<usize> = (0..97).collect();
+        for parts in [1, 2, 5, 13] {
+            let by_slice = map_shards(&items, parts, |shard| shard.to_vec());
+            let by_range: Vec<Vec<usize>> = split_range(0..items.len(), parts)
+                .into_iter()
+                .map(|r| items[r].to_vec())
+                .collect();
+            assert_eq!(by_slice, by_range, "parts={parts}");
+        }
     }
 }

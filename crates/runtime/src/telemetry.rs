@@ -28,6 +28,16 @@
 //! Timing is measured whenever *anyone* is listening (sink, collector, or a
 //! [`time`] caller that needs the elapsed value); with `KGM_LOG=off` and no
 //! collector, `span!` is a cheap no-op.
+//!
+//! **Spans are thread-local.** The span tree, the active-span stack, and any
+//! installed [`Collector`] all live in thread-local storage, so a span
+//! opened on a `kgm_runtime::par` worker thread lands in that worker's
+//! (unobserved) tree, not the caller's. Parallel code must therefore emit
+//! spans and [`record`] calls only from the coordinating thread — the
+//! sharded chase, for instance, times whole shard batches from the writer
+//! side and folds per-worker counts into the span after the join. The
+//! global *metrics* registry ([`counter_add`] & friends) is shared and safe
+//! to touch from any thread.
 
 use crate::sync::Mutex;
 use std::cell::RefCell;

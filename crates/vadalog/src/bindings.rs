@@ -126,6 +126,12 @@ impl SourceRegistry {
     }
 
     /// Materialize the facts of one binding.
+    ///
+    /// The returned order must be deterministic (graph scans iterate in
+    /// insertion order, table scans in row order): the chase's
+    /// bit-identical-output guarantee across worker counts is stated
+    /// relative to the initial `FactDb` contents, so a loader that ordered
+    /// facts by hash-map iteration would silently void it.
     pub fn load(&self, binding: &InputBinding) -> Result<Vec<Vec<Value>>> {
         match &binding.source {
             InputSource::Facts => Ok(Vec::new()),

@@ -18,14 +18,13 @@
 //!   counted once, updates re-fire the rule with the refined value.
 
 use crate::analysis::{AggMode, ProgramAnalysis};
-use crate::ast::{AggregateFunc, Program, Rule, RuleStep, Term, Var};
+use crate::ast::{AggregateFunc, Expr, Program, Rule, RuleStep, Term, Var};
 use crate::bindings::SourceRegistry;
 use crate::eval::{eval, EvalCtx};
 use kgm_common::{
     FxHashMap, FxHashSet, KgmError, Oid, OidGen, OidSpace, Result, SkolemRegistry, Value,
 };
 use kgm_runtime::telemetry;
-use std::cell::RefCell;
 use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,11 +39,19 @@ struct Index {
 }
 
 /// One predicate's extension.
+///
+/// Hash join indexes are built *eagerly* by the single writer (once per
+/// fixpoint iteration, via [`Relation::ensure_index`]) and read through the
+/// immutable [`Relation::lookup`], so a frozen `FactDb` is `Sync` and shard
+/// workers can probe it concurrently without locks. A lookup against a key
+/// set nobody pre-built falls back to a linear scan of the unindexed tail —
+/// correct, just slower — so eager building is an optimization contract, not
+/// a soundness one.
 struct Relation {
     arity: usize,
     tuples: Vec<Vec<Value>>,
     set: FxHashSet<Vec<Value>>,
-    indexes: RefCell<FxHashMap<Vec<usize>, Index>>,
+    indexes: FxHashMap<Vec<usize>, Index>,
 }
 
 impl Relation {
@@ -53,7 +60,7 @@ impl Relation {
             arity,
             tuples: Vec::new(),
             set: FxHashSet::default(),
-            indexes: RefCell::new(FxHashMap::default()),
+            indexes: FxHashMap::default(),
         }
     }
 
@@ -66,17 +73,16 @@ impl Relation {
         true
     }
 
-    /// Tuple indices matching `key` at `positions`, restricted to `range`.
-    fn lookup(&self, positions: &[usize], key: &[Value], range: &Range<usize>) -> Vec<u32> {
+    /// Create (or catch up) the hash index over `positions` so that
+    /// subsequent [`Relation::lookup`]s on that key set are O(hits).
+    fn ensure_index(&mut self, positions: &[usize]) {
         if positions.is_empty() {
-            return (range.start as u32..range.end as u32).collect();
+            return;
         }
-        let mut indexes = self.indexes.borrow_mut();
-        let entry = indexes.entry(positions.to_vec()).or_insert_with(|| Index {
+        let entry = self.indexes.entry(positions.to_vec()).or_insert_with(|| Index {
             map: FxHashMap::default(),
             built_upto: 0,
         });
-        // Catch the index up with newly inserted tuples.
         while entry.built_upto < self.tuples.len() {
             let i = entry.built_upto;
             let k: Vec<Value> = positions
@@ -86,14 +92,38 @@ impl Relation {
             entry.map.entry(k).or_default().push(i as u32);
             entry.built_upto += 1;
         }
-        match entry.map.get(key) {
-            Some(v) => v
-                .iter()
-                .copied()
-                .filter(|&i| (i as usize) >= range.start && (i as usize) < range.end)
-                .collect(),
-            None => Vec::new(),
+    }
+
+    /// Tuple indices matching `key` at `positions`, restricted to `range`,
+    /// ascending. Read-only: uses the prebuilt index where it covers the
+    /// range and scans the unindexed tail linearly.
+    fn lookup(&self, positions: &[usize], key: &[Value], range: &Range<usize>) -> Vec<u32> {
+        let hi = range.end.min(self.tuples.len());
+        if positions.is_empty() {
+            return (range.start as u32..hi as u32).collect();
         }
+        let (mut out, indexed_upto) = match self.indexes.get(positions) {
+            Some(idx) => {
+                let covered = hi.min(idx.built_upto);
+                let hits = match idx.map.get(key) {
+                    Some(v) => v
+                        .iter()
+                        .copied()
+                        .filter(|&i| (i as usize) >= range.start && (i as usize) < covered)
+                        .collect(),
+                    None => Vec::new(),
+                };
+                (hits, idx.built_upto)
+            }
+            None => (Vec::new(), 0),
+        };
+        for i in range.start.max(indexed_upto)..hi {
+            let t = &self.tuples[i];
+            if positions.iter().zip(key).all(|(&p, k)| &t[p] == k) {
+                out.push(i as u32);
+            }
+        }
+        out
     }
 }
 
@@ -217,6 +247,14 @@ impl FactDb {
         v.sort();
         v
     }
+
+    /// Build (or catch up) the hash join index of `predicate` over
+    /// `positions`. A no-op for unknown predicates.
+    fn ensure_index(&mut self, predicate: &str, positions: &[usize]) {
+        if let Some(rel) = self.rels.get_mut(predicate) {
+            rel.ensure_index(positions);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -232,6 +270,17 @@ pub struct EngineConfig {
     pub max_facts: usize,
     /// Refuse to run programs that fail the wardedness check.
     pub require_warded: bool,
+    /// Worker threads for sharded rule evaluation. Defaults to the
+    /// `KGM_THREADS` environment variable (falling back to the machine's
+    /// parallelism); `1` forces the sequential path. Any value produces
+    /// bit-identical output — see the "Parallel evaluation" notes on
+    /// [`Engine::run`].
+    pub threads: usize,
+    /// Minimum scan-range size (tuples of the outermost join atom) before a
+    /// rule evaluation is sharded across workers; smaller ranges run inline
+    /// because thread spawn would dominate. Tests pin this to 1 to force the
+    /// parallel path on tiny inputs.
+    pub min_parallel_batch: usize,
 }
 
 impl Default for EngineConfig {
@@ -240,6 +289,8 @@ impl Default for EngineConfig {
             max_iterations: 1_000_000,
             max_facts: 50_000_000,
             require_warded: true,
+            threads: kgm_runtime::par::threads_from_env(),
+            min_parallel_batch: 256,
         }
     }
 }
@@ -272,6 +323,16 @@ pub struct ChaseProfile {
     /// One entry per program rule, indexed by rule number (rules that never
     /// ran keep zeroed counters).
     pub rules: Vec<RuleProfile>,
+    /// Shard workers spawned across all parallel rule evaluations (0 when
+    /// every evaluation ran sequentially).
+    pub shards_spawned: usize,
+    /// Candidate bindings shard workers handed to the merge writer.
+    pub worker_candidates: usize,
+    /// Head tuples the merge writer found already present in the database.
+    /// They still flow through the normal end-of-iteration insert (and are
+    /// counted in `duplicates_rejected`) so parallel and sequential runs
+    /// stay bit-identical; this counter just sizes the redundant work.
+    pub merge_dedup_hits: usize,
 }
 
 /// Chase counters for one stratum.
@@ -326,6 +387,15 @@ struct RuleMeta {
     agg_mode: Option<AggMode>,
     /// Index of the aggregate step in `rule.steps`.
     agg_step: Option<usize>,
+    /// Steps `[0..pure_steps)` are order-independent (no monotonic-aggregate
+    /// state update, no Skolem minting) and safe to run on shard workers;
+    /// everything from `pure_steps` on must run on the single writer in
+    /// deterministic match order.
+    pure_steps: usize,
+    /// `(predicate, key positions)` of every hash index any of this rule's
+    /// join orders can probe — built eagerly once per fixpoint iteration so
+    /// the parallel phase reads a frozen database.
+    index_needs: Vec<(String, Vec<usize>)>,
 }
 
 /// The Vadalog reasoner.
@@ -408,6 +478,15 @@ impl Engine {
                     }
                 }
             }
+            let pure_steps = rule
+                .steps
+                .iter()
+                .position(|s| match s {
+                    RuleStep::Aggregate(_) => true,
+                    RuleStep::Condition(e) | RuleStep::Assign(_, e) => expr_has_skolem(e),
+                    RuleStep::Negated(_) => false,
+                })
+                .unwrap_or(rule.steps.len());
             meta.push(RuleMeta {
                 stratum,
                 group_vars,
@@ -415,6 +494,8 @@ impl Engine {
                 frontier: rule.frontier(),
                 agg_mode,
                 agg_step,
+                pure_steps,
+                index_needs: static_index_needs(rule),
             });
         }
         Ok(Engine {
@@ -514,6 +595,9 @@ impl Engine {
                 }
                 if self.meta[ri].agg_mode == Some(AggMode::Exact) {
                     let t_rule = Instant::now();
+                    for (pred, positions) in &self.meta[ri].index_needs {
+                        db.ensure_index(pred, positions);
+                    }
                     let new_facts =
                         self.eval_exact_agg_rule(db, ri, rule, &null_gen, &mut nulls)?;
                     let emitted = new_facts.len();
@@ -547,13 +631,21 @@ impl Engine {
             let mut first = true;
             for _iter in 0..self.config.max_iterations {
                 stats.iterations += 1;
+                // Freeze the database for this iteration: build every index
+                // any rule's join order can probe, so the evaluation phase
+                // (possibly running on shard workers) is strictly read-only.
+                for &ri in &rules {
+                    for (pred, positions) in &self.meta[ri].index_needs {
+                        db.ensure_index(pred, positions);
+                    }
+                }
                 let mut out: Vec<(String, Vec<Value>)> = Vec::new();
                 for &ri in &rules {
                     let rule = &self.program.rules[ri];
                     if first {
                         self.eval_rule(
                             db, ri, rule, None, &null_gen, &mut nulls, &mut mono, &mut out,
-                            &mut stats.profile.rules[ri],
+                            &mut stats.profile,
                         )?;
                     } else {
                         // Delta-restricted runs: one per body atom whose
@@ -571,7 +663,7 @@ impl Engine {
                                     &mut nulls,
                                     &mut mono,
                                     &mut out,
-                                    &mut stats.profile.rules[ri],
+                                    &mut stats.profile,
                                 )?;
                             }
                         }
@@ -636,6 +728,7 @@ impl Engine {
             telemetry::record("derived", stats.derived_facts as i64);
             telemetry::record("duplicates", stats.duplicates_rejected as i64);
             telemetry::record("nulls", stats.nulls_created as i64);
+            telemetry::record("shards", stats.profile.shards_spawned as i64);
         }
         telemetry::counter_add("chase.runs", 1);
         telemetry::counter_add("chase.facts_derived", stats.derived_facts as i64);
@@ -694,6 +787,12 @@ impl Engine {
     // Rule evaluation
     // -----------------------------------------------------------------
 
+    /// Evaluate one rule over `db`, appending emitted head tuples to `out`.
+    ///
+    /// When the configured thread count allows it and the outermost join
+    /// atom's scan range is large enough, dispatches to
+    /// [`Engine::eval_rule_sharded`]; both paths enumerate matches in the
+    /// same order and produce identical `out` contents.
     #[allow(clippy::too_many_arguments)]
     fn eval_rule(
         &self,
@@ -705,8 +804,32 @@ impl Engine {
         nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
         mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
         out: &mut Vec<(String, Vec<Value>)>,
-        prof: &mut RuleProfile,
+        profile: &mut ChaseProfile,
     ) -> Result<()> {
+        // A full pass is equivalent to a delta pass over atom 0's complete
+        // range: `join_order` always picks atom 0 first when nothing is
+        // bound, and the delta only restricts the outermost scan. That
+        // equivalence is what lets one sharding scheme cover both cases.
+        let (shard_atom, shard_range) = match &delta {
+            Some((ai, r)) => (*ai, r.clone()),
+            None => (
+                0,
+                0..rule
+                    .body
+                    .first()
+                    .map(|a| db.len(&a.predicate))
+                    .unwrap_or(0),
+            ),
+        };
+        if self.config.threads > 1
+            && !rule.body.is_empty()
+            && shard_range.len() >= self.config.min_parallel_batch.max(1)
+        {
+            return self.eval_rule_sharded(
+                db, ri, rule, shard_atom, shard_range, delta.is_some(), null_gen, nulls, mono,
+                out, profile,
+            );
+        }
         let t_rule = Instant::now();
         let emitted_before = out.len();
         let mut bindings = 0usize;
@@ -724,6 +847,7 @@ impl Engine {
                 self.fire(db, ri, rule, binding, null_gen, nulls, mono, out)
             },
         );
+        let prof = &mut profile.rules[ri];
         prof.evaluations += 1;
         if delta.is_some() {
             prof.delta_evaluations += 1;
@@ -732,6 +856,144 @@ impl Engine {
         prof.facts_emitted += out.len() - emitted_before;
         prof.elapsed_ms += t_rule.elapsed().as_secs_f64() * 1e3;
         result
+    }
+
+    /// Parallel rule evaluation: shard the outermost atom's scan range
+    /// across workers, then merge in shard order.
+    ///
+    /// Each worker runs the join over its contiguous slice of `shard_range`
+    /// against the frozen database and applies the rule's *pure* step prefix
+    /// (`RuleMeta::pure_steps`), collecting surviving bindings locally. The
+    /// single writer then replays the shard outputs **in shard order** —
+    /// concatenated, that is exactly the sequential enumeration order —
+    /// running the order-sensitive suffix (monotonic aggregate updates,
+    /// Skolem minting) and `emit_heads` (labelled-null minting). Output is
+    /// therefore bit-identical to the sequential path for any thread count.
+    ///
+    /// Workers never touch telemetry (spans are thread-local) nor shared
+    /// mutable state; errors are surfaced in shard order, so the earliest
+    /// failing match wins, as it would sequentially.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_rule_sharded(
+        &self,
+        db: &FactDb,
+        ri: usize,
+        rule: &Rule,
+        shard_atom: usize,
+        shard_range: Range<usize>,
+        is_delta: bool,
+        null_gen: &OidGen,
+        nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
+        mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
+        out: &mut Vec<(String, Vec<Value>)>,
+        profile: &mut ChaseProfile,
+    ) -> Result<()> {
+        struct ShardOut {
+            /// Bindings that completed the join and survived the pure step
+            /// prefix, in enumeration order (pure-prefix assigns applied).
+            survivors: Vec<Vec<Option<Value>>>,
+            /// Complete body matches enumerated (pre-filter).
+            enumerated: usize,
+        }
+        let t_rule = Instant::now();
+        let emitted_before = out.len();
+        let pure_end = self.meta[ri].pure_steps;
+        let order = join_order(rule, Some(shard_atom));
+        let shards = kgm_runtime::par::split_range(shard_range, self.config.threads);
+        let span = kgm_runtime::span_debug!(
+            "chase.shard_eval",
+            "rule {ri}: {} shard(s)",
+            shards.len()
+        );
+        let results: Vec<Result<ShardOut>> =
+            kgm_runtime::par::par_map(&shards, shards.len(), |r| {
+                let mut so = ShardOut {
+                    survivors: Vec::new(),
+                    enumerated: 0,
+                };
+                let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+                // The pure prefix stops before any Aggregate step, so this
+                // map is never consulted; it only satisfies `run_steps`.
+                let mut no_mono: FxHashMap<(usize, Vec<Value>), MonoState> =
+                    FxHashMap::default();
+                let delta = Some((shard_atom, r.clone()));
+                self.join(db, rule, &order, 0, &delta, &mut binding, &mut |binding| {
+                    so.enumerated += 1;
+                    let mut assigned: Vec<Var> = Vec::new();
+                    let keep = self.run_steps(
+                        db,
+                        ri,
+                        rule,
+                        0..pure_end,
+                        binding,
+                        &mut assigned,
+                        &mut no_mono,
+                    );
+                    let keep = match keep {
+                        Ok(k) => k,
+                        Err(e) => {
+                            for v in &assigned {
+                                binding[v.0 as usize] = None;
+                            }
+                            return Err(e);
+                        }
+                    };
+                    if keep {
+                        so.survivors.push(binding.clone());
+                    }
+                    for v in assigned {
+                        binding[v.0 as usize] = None;
+                    }
+                    Ok(())
+                })?;
+                Ok(so)
+            });
+        let shards_spawned = results.len();
+        let mut enumerated = 0usize;
+        let mut candidates = 0usize;
+        for res in results {
+            let so = res?;
+            enumerated += so.enumerated;
+            candidates += so.survivors.len();
+            for mut binding in so.survivors {
+                // Owned binding: no undo needed between survivors.
+                let mut assigned: Vec<Var> = Vec::new();
+                let keep = self.run_steps(
+                    db,
+                    ri,
+                    rule,
+                    pure_end..rule.steps.len(),
+                    &mut binding,
+                    &mut assigned,
+                    mono,
+                )?;
+                if keep {
+                    self.emit_heads(ri, rule, &binding, null_gen, nulls, out)?;
+                }
+            }
+        }
+        let dedup_hits = out[emitted_before..]
+            .iter()
+            .filter(|(pred, tuple)| db.contains(pred, tuple))
+            .count();
+        profile.shards_spawned += shards_spawned;
+        profile.worker_candidates += candidates;
+        profile.merge_dedup_hits += dedup_hits;
+        if span.is_active() {
+            telemetry::record("shards", shards_spawned as i64);
+            telemetry::record("candidates", candidates as i64);
+            telemetry::record("dedup_hits", dedup_hits as i64);
+        }
+        telemetry::counter_add("chase.shards_spawned", shards_spawned as i64);
+        let prof = &mut profile.rules[ri];
+        prof.evaluations += 1;
+        if is_delta {
+            prof.delta_evaluations += 1;
+        }
+        prof.bindings_enumerated += enumerated;
+        prof.facts_emitted += out.len() - emitted_before;
+        prof.elapsed_ms += t_rule.elapsed().as_secs_f64() * 1e3;
+        Ok(())
     }
 
     /// Join body atoms in `order[pos..]`, invoking `on_match` on full
@@ -819,27 +1081,27 @@ impl Engine {
         Ok(())
     }
 
-    /// Process steps and emit heads for one complete body match.
+    /// Run the rule steps in `range` against `binding`, pushing every
+    /// variable it binds onto `assigned` (the caller undoes them when the
+    /// binding is reused across matches). Returns `Ok(false)` when a
+    /// condition, negation, or idempotent aggregate update filtered the
+    /// match out.
     #[allow(clippy::too_many_arguments, clippy::ptr_arg)]
-    fn fire(
+    fn run_steps(
         &self,
         db: &FactDb,
         ri: usize,
         rule: &Rule,
+        range: Range<usize>,
         binding: &mut Vec<Option<Value>>,
-        null_gen: &OidGen,
-        nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
+        assigned: &mut Vec<Var>,
         mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
-        out: &mut Vec<(String, Vec<Value>)>,
-    ) -> Result<()> {
+    ) -> Result<bool> {
         let ctx = EvalCtx {
             skolems: &self.skolems,
         };
-        // Variables assigned by steps must be undone before returning so
-        // sibling matches start clean.
-        let mut assigned: Vec<Var> = Vec::new();
-        let result = (|| -> Result<bool> {
-            for step in &rule.steps {
+        {
+            for step in &rule.steps[range] {
                 match step {
                     RuleStep::Condition(e) => {
                         match eval(e, binding, &ctx)? {
@@ -917,9 +1179,28 @@ impl Engine {
                     }
                 }
             }
-            Ok(true)
-        })();
+        }
+        Ok(true)
+    }
 
+    /// Process steps and emit heads for one complete body match.
+    #[allow(clippy::too_many_arguments, clippy::ptr_arg)]
+    fn fire(
+        &self,
+        db: &FactDb,
+        ri: usize,
+        rule: &Rule,
+        binding: &mut Vec<Option<Value>>,
+        null_gen: &OidGen,
+        nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
+        mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
+        out: &mut Vec<(String, Vec<Value>)>,
+    ) -> Result<()> {
+        // Variables assigned by steps must be undone before returning so
+        // sibling matches start clean.
+        let mut assigned: Vec<Var> = Vec::new();
+        let result =
+            self.run_steps(db, ri, rule, 0..rule.steps.len(), binding, &mut assigned, mono);
         let emit = match result {
             Ok(b) => b,
             Err(e) => {
@@ -1183,6 +1464,57 @@ fn join_order(rule: &Rule, delta_atom: Option<usize>) -> Vec<usize> {
     order
 }
 
+/// True if evaluating `e` could mint a Skolem OID (and must therefore run
+/// on the writer, in deterministic match order).
+fn expr_has_skolem(e: &Expr) -> bool {
+    match e {
+        Expr::Skolem(_, _) => true,
+        Expr::Const(_) | Expr::Var(_) => false,
+        Expr::Not(a) => expr_has_skolem(a),
+        Expr::Bin(_, a, b) => expr_has_skolem(a) || expr_has_skolem(b),
+        Expr::Call(_, args) => args.iter().any(expr_has_skolem),
+    }
+}
+
+/// Statically enumerate every `(predicate, key positions)` pair the join of
+/// `rule` can probe, across the natural order (exact aggregates), the full
+/// pass order, and every delta order. At atom `p` of an order, the index
+/// key is the constant positions plus the positions of variables bound by
+/// atoms earlier in the order — repeated variables *within* an atom do not
+/// contribute (the runtime key is built before the tuple extends the
+/// binding), matching [`Engine::join`] exactly.
+fn static_index_needs(rule: &Rule) -> Vec<(String, Vec<usize>)> {
+    let mut needs: FxHashSet<(String, Vec<usize>)> = FxHashSet::default();
+    let mut orders: Vec<Vec<usize>> = vec![(0..rule.body.len()).collect(), join_order(rule, None)];
+    for ai in 0..rule.body.len() {
+        orders.push(join_order(rule, Some(ai)));
+    }
+    for order in orders {
+        let mut bound: FxHashSet<Var> = FxHashSet::default();
+        for &idx in &order {
+            let atom = &rule.body[idx];
+            let mut positions: Vec<usize> = Vec::new();
+            for (i, t) in atom.terms.iter().enumerate() {
+                match t {
+                    Term::Const(_) => positions.push(i),
+                    Term::Var(v) => {
+                        if bound.contains(v) {
+                            positions.push(i);
+                        }
+                    }
+                }
+            }
+            if !positions.is_empty() {
+                needs.insert((atom.predicate.clone(), positions));
+            }
+            bound.extend(atom.vars());
+        }
+    }
+    let mut v: Vec<(String, Vec<usize>)> = needs.into_iter().collect();
+    v.sort();
+    v
+}
+
 fn initial_value(func: AggregateFunc) -> Value {
     match func {
         AggregateFunc::Sum | AggregateFunc::MSum | AggregateFunc::Avg => Value::Int(0),
@@ -1244,11 +1576,13 @@ mod tests {
     #[test]
     fn lookup_index_catches_up_after_inserts() {
         // An index built before an insert must still see tuples inserted
-        // afterwards: lookup's catch-up loop advances `built_upto` lazily.
+        // afterwards: the unindexed tail is scanned linearly until
+        // `ensure_index` catches `built_upto` up.
         let mut r = Relation::new(2);
         r.insert(vec![Value::Int(1), Value::Int(10)]);
         r.insert(vec![Value::Int(2), Value::Int(20)]);
         // Build the index on position 0 now…
+        r.ensure_index(&[0]);
         assert_eq!(r.lookup(&[0], &[Value::Int(1)], &(0..2)), vec![0]);
         // …then insert more tuples, including one under an indexed key.
         r.insert(vec![Value::Int(1), Value::Int(11)]);
@@ -1256,13 +1590,19 @@ mod tests {
         assert_eq!(
             r.lookup(&[0], &[Value::Int(1)], &(0..4)),
             vec![0, 2],
-            "post-build insert must appear under its key"
+            "post-build insert must appear via the tail scan"
         );
         assert_eq!(
             r.lookup(&[0], &[Value::Int(3)], &(0..4)),
             vec![3],
             "a brand-new key must be found too"
         );
+        // Catching up must not change any answer.
+        r.ensure_index(&[0]);
+        assert_eq!(r.lookup(&[0], &[Value::Int(1)], &(0..4)), vec![0, 2]);
+        assert_eq!(r.lookup(&[0], &[Value::Int(3)], &(0..4)), vec![3]);
+        // A key set without any index at all works too (pure linear scan).
+        assert_eq!(r.lookup(&[1], &[Value::Int(11)], &(0..4)), vec![2]);
     }
 
     #[test]
@@ -1286,6 +1626,8 @@ mod tests {
         let mut r = Relation::new(2);
         r.insert(vec![Value::Int(1), Value::Int(10)]);
         // Index on position 0, then on position 1, then insert more.
+        r.ensure_index(&[0]);
+        r.ensure_index(&[1]);
         assert_eq!(r.lookup(&[0], &[Value::Int(1)], &(0..1)), vec![0]);
         assert_eq!(r.lookup(&[1], &[Value::Int(10)], &(0..1)), vec![0]);
         r.insert(vec![Value::Int(1), Value::Int(20)]);
@@ -1293,11 +1635,12 @@ mod tests {
         assert_eq!(r.lookup(&[0], &[Value::Int(1)], &(0..3)), vec![0, 1]);
         assert_eq!(r.lookup(&[1], &[Value::Int(10)], &(0..3)), vec![0, 2]);
         // A composite-position index built late still covers everything.
+        r.ensure_index(&[0, 1]);
         assert_eq!(
             r.lookup(&[0, 1], &[Value::Int(1), Value::Int(20)], &(0..3)),
             vec![1]
         );
-        assert_eq!(r.indexes.borrow().len(), 3, "three distinct index keys");
+        assert_eq!(r.indexes.len(), 3, "three distinct index keys");
     }
 
     #[test]
@@ -1603,5 +1946,108 @@ mod tests {
         assert_eq!(db.facts("lo")[0][1], Value::Int(10));
         assert_eq!(db.facts("hi")[0][1], Value::Int(30));
         assert_eq!(db.facts("mean")[0][1], Value::Float(20.0));
+    }
+
+    /// Chase program mixing recursion, monotonic aggregation, existentials,
+    /// and Skolem functors — every order-sensitive feature at once.
+    const PARALLEL_MIX_SRC: &str = r#"
+        company(X) -> controls(X, X).
+        controls(X, Z), own(Z, Y, W), V = msum(W, <Z>), V > 0.5
+            -> controls(X, Y).
+        own(X, Y, W) -> shell(X, N).
+        company(X), S = skolem("skC", X) -> tagged(X, S).
+    "#;
+
+    fn parallel_mix_inputs() -> Vec<(&'static str, Vec<Vec<Value>>)> {
+        let n = 24i64;
+        let companies: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::Int(i)]).collect();
+        let mut own = Vec::new();
+        for i in 0..n - 1 {
+            own.push(vec![Value::Int(i), Value::Int(i + 1), Value::Float(0.6)]);
+        }
+        // Joint-control diamonds: i and i+2 each hold 30% of i+5, so the
+        // control edge needs two msum contributions.
+        for i in 0..n - 5 {
+            own.push(vec![Value::Int(i), Value::Int(i + 5), Value::Float(0.3)]);
+            own.push(vec![Value::Int(i + 2), Value::Int(i + 5), Value::Float(0.3)]);
+        }
+        vec![("company", companies), ("own", own)]
+    }
+
+    fn run_with_threads(
+        src: &str,
+        inputs: &[(&str, Vec<Vec<Value>>)],
+        threads: usize,
+    ) -> (FactDb, RunStats) {
+        let engine = Engine::with_config(
+            parse_program(src).unwrap(),
+            EngineConfig {
+                threads,
+                min_parallel_batch: 1, // force the parallel path on tiny deltas
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        engine.run_with_facts(inputs).unwrap()
+    }
+
+    /// Full database image: every predicate's facts in insertion order, so
+    /// the comparison covers fact *order* (and thus null/Skolem OID
+    /// assignment), not just set membership.
+    fn db_fingerprint(db: &FactDb) -> Vec<(String, Vec<Vec<Value>>)> {
+        db.predicates()
+            .into_iter()
+            .map(|p| {
+                let facts = db.facts(&p);
+                (p, facts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_chase_is_bit_identical_to_sequential() {
+        let inputs = parallel_mix_inputs();
+        let (base_db, base_stats) = run_with_threads(PARALLEL_MIX_SRC, &inputs, 1);
+        assert_eq!(
+            base_stats.profile.shards_spawned, 0,
+            "threads=1 must never shard"
+        );
+        for threads in [2, 4, 7] {
+            let (db, stats) = run_with_threads(PARALLEL_MIX_SRC, &inputs, threads);
+            assert_eq!(
+                db_fingerprint(&base_db),
+                db_fingerprint(&db),
+                "threads={threads}"
+            );
+            assert_eq!(base_stats.derived_facts, stats.derived_facts);
+            assert_eq!(base_stats.nulls_created, stats.nulls_created);
+            assert_eq!(base_stats.duplicates_rejected, stats.duplicates_rejected);
+            assert_eq!(base_stats.iterations, stats.iterations);
+        }
+    }
+
+    #[test]
+    fn parallel_eval_reports_shard_counters() {
+        let inputs = parallel_mix_inputs();
+        let (_, stats) = run_with_threads(PARALLEL_MIX_SRC, &inputs, 4);
+        assert!(stats.profile.shards_spawned > 0, "parallel run must shard");
+        assert!(stats.profile.worker_candidates > 0);
+        // The semi-naive re-derivations of `controls(X, X)` & co. surface as
+        // merge dedup hits once the facts exist.
+        assert!(stats.profile.merge_dedup_hits > 0);
+        // Default config on the same input: batches below the threshold run
+        // sequentially even with many threads configured.
+        let engine = Engine::with_config(
+            parse_program(PARALLEL_MIX_SRC).unwrap(),
+            EngineConfig {
+                threads: 4,
+                min_parallel_batch: 1_000_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (_, seq_stats) = engine.run_with_facts(&inputs).unwrap();
+        assert_eq!(seq_stats.profile.shards_spawned, 0);
+        assert_eq!(seq_stats.derived_facts, stats.derived_facts);
     }
 }

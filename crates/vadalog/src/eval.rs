@@ -37,6 +37,16 @@ fn finite(x: f64, op: &str) -> Result<f64> {
     }
 }
 
+/// The integer-overflow counterpart of [`finite`]: surface a checked-i64
+/// result as a typed error instead of silently wrapping.
+fn checked_int(r: Option<i64>, op: &str) -> Result<Value> {
+    r.map(Value::Int)
+        .ok_or_else(|| KgmError::Type(format!("`{op}` overflowed the i64 range")))
+}
+
+/// Largest magnitude `f64` represents exactly for every integer (2^53).
+const F64_EXACT_INT: u64 = 1 << 53;
+
 /// Evaluate `expr` under `binding`.
 pub fn eval(expr: &Expr, binding: &[Option<Value>], ctx: &EvalCtx) -> Result<Value> {
     match expr {
@@ -77,9 +87,7 @@ pub fn bin(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
             _ => {
                 let (x, y, int) = numeric2(a, b, "+")?;
                 if int {
-                    Ok(Value::Int(
-                        a.as_i64().unwrap().wrapping_add(b.as_i64().unwrap()),
-                    ))
+                    checked_int(a.as_i64().unwrap().checked_add(b.as_i64().unwrap()), "+")
                 } else {
                     Ok(Value::Float(finite(x + y, "+")?))
                 }
@@ -88,9 +96,7 @@ pub fn bin(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
         BinOp::Sub => {
             let (x, y, int) = numeric2(a, b, "-")?;
             if int {
-                Ok(Value::Int(
-                    a.as_i64().unwrap().wrapping_sub(b.as_i64().unwrap()),
-                ))
+                checked_int(a.as_i64().unwrap().checked_sub(b.as_i64().unwrap()), "-")
             } else {
                 Ok(Value::Float(finite(x - y, "-")?))
             }
@@ -98,15 +104,34 @@ pub fn bin(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
         BinOp::Mul => {
             let (x, y, int) = numeric2(a, b, "*")?;
             if int {
-                Ok(Value::Int(
-                    a.as_i64().unwrap().wrapping_mul(b.as_i64().unwrap()),
-                ))
+                checked_int(a.as_i64().unwrap().checked_mul(b.as_i64().unwrap()), "*")
             } else {
                 Ok(Value::Float(finite(x * y, "*")?))
             }
         }
         BinOp::Div => {
-            let (x, y, _) = numeric2(a, b, "/")?;
+            let (x, y, int) = numeric2(a, b, "/")?;
+            if int {
+                // Integer division never detours through f64: a round trip
+                // above 2^53 would silently change the operands.
+                let (xi, yi) = (a.as_i64().unwrap(), b.as_i64().unwrap());
+                if yi == 0 {
+                    return Err(KgmError::Type("division by zero".to_string()));
+                }
+                // checked_rem is None only for i64::MIN / -1 — mathematically
+                // exact, but the quotient overflows i64, so route it through
+                // checked_div's error.
+                if xi.checked_rem(yi).unwrap_or(0) == 0 {
+                    return checked_int(xi.checked_div(yi), "/");
+                }
+                if xi.unsigned_abs() > F64_EXACT_INT || yi.unsigned_abs() > F64_EXACT_INT {
+                    return Err(KgmError::Type(format!(
+                        "`/` on {xi} and {yi}: fractional quotient with an operand \
+                         beyond f64's exact-integer range (2^53)"
+                    )));
+                }
+                return Ok(Value::Float(finite(xi as f64 / yi as f64, "/")?));
+            }
             if y == 0.0 {
                 Err(KgmError::Type("division by zero".to_string()))
             } else {
@@ -114,7 +139,9 @@ pub fn bin(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
             }
         }
         BinOp::Mod => match (a.as_i64(), b.as_i64()) {
-            (Some(x), Some(y)) if y != 0 => Ok(Value::Int(x.rem_euclid(y))),
+            (Some(x), Some(y)) if y != 0 => {
+                checked_int(x.checked_rem_euclid(y), "%")
+            }
             (Some(_), Some(_)) => Err(KgmError::Type("modulo by zero".to_string())),
             _ => Err(KgmError::Type(format!(
                 "`%` expects integers, got {a:?} and {b:?}"
@@ -145,7 +172,7 @@ pub fn bin(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
 fn call(name: &str, args: &[Value]) -> Result<Value> {
     match (name, args) {
         ("abs", [v]) => match v {
-            Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+            Value::Int(i) => checked_int(i.checked_abs(), "abs"),
             Value::Float(f) => Ok(Value::Float(f.abs())),
             other => Err(KgmError::Type(format!("abs expects a number, got {other:?}"))),
         },
@@ -212,6 +239,90 @@ mod tests {
     fn division_by_zero_is_an_error() {
         assert!(bin(BinOp::Div, &Value::Int(1), &Value::Int(0)).is_err());
         assert!(bin(BinOp::Mod, &Value::Int(1), &Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn int_overflow_is_a_type_error_not_a_wrap() {
+        // i64::MAX + 1 used to wrap to i64::MIN silently.
+        for (op, a, b) in [
+            (BinOp::Add, i64::MAX, 1),
+            (BinOp::Add, i64::MIN, -1),
+            (BinOp::Sub, i64::MIN, 1),
+            (BinOp::Sub, i64::MAX, -1),
+            (BinOp::Mul, i64::MAX, 2),
+            (BinOp::Mul, i64::MIN, -1),
+        ] {
+            let err = bin(op, &Value::Int(a), &Value::Int(b)).unwrap_err();
+            assert!(
+                matches!(err, KgmError::Type(_)),
+                "{op:?} on {a}, {b}: {err}"
+            );
+        }
+        // In-range results are untouched.
+        assert_eq!(
+            bin(BinOp::Add, &Value::Int(i64::MAX - 1), &Value::Int(1)).unwrap(),
+            Value::Int(i64::MAX)
+        );
+        assert_eq!(
+            bin(BinOp::Mul, &Value::Int(1 << 31), &Value::Int(1 << 31)).unwrap(),
+            Value::Int(1 << 62)
+        );
+    }
+
+    #[test]
+    fn abs_and_mod_overflow_are_errors() {
+        assert!(call("abs", &[Value::Int(i64::MIN)]).is_err());
+        assert_eq!(call("abs", &[Value::Int(i64::MIN + 1)]).unwrap(), Value::Int(i64::MAX));
+        assert!(bin(BinOp::Mod, &Value::Int(i64::MIN), &Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn exact_int_division_keeps_full_precision() {
+        const BIG: i64 = (1i64 << 53) + 1; // not representable in f64
+        // (2^53 + 1) / 1 used to come back as 2^53.0, off by one.
+        assert_eq!(
+            bin(BinOp::Div, &Value::Int(BIG), &Value::Int(1)).unwrap(),
+            Value::Int(BIG)
+        );
+        assert_eq!(
+            bin(BinOp::Div, &Value::Int(i64::MAX), &Value::Int(i64::MAX)).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            bin(BinOp::Div, &Value::Int(1 << 60), &Value::Int(1 << 10)).unwrap(),
+            Value::Int(1 << 50)
+        );
+        assert_eq!(
+            bin(BinOp::Div, &Value::Int(-9), &Value::Int(3)).unwrap(),
+            Value::Int(-3)
+        );
+        // The one exact quotient that leaves i64.
+        assert!(bin(BinOp::Div, &Value::Int(i64::MIN), &Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn fractional_int_division_guards_the_f64_boundary() {
+        const EXACT: i64 = 1 << 53;
+        // Small fractional quotients still produce the documented float.
+        assert_eq!(
+            bin(BinOp::Div, &Value::Int(3), &Value::Int(2)).unwrap(),
+            Value::Float(1.5)
+        );
+        // Operands at the boundary are fine…
+        assert_eq!(
+            bin(BinOp::Div, &Value::Int(EXACT - 1), &Value::Int(2)).unwrap(),
+            Value::Float((EXACT - 1) as f64 / 2.0)
+        );
+        // …and exactly representable even at 2^53.
+        assert_eq!(
+            bin(BinOp::Div, &Value::Int(EXACT), &Value::Int(2)).unwrap(),
+            Value::Int(EXACT / 2)
+        );
+        // Beyond it, a fractional quotient would silently lose precision:
+        // (2^53 + 1) / 2 has no exact f64 answer, so it must error.
+        let err = bin(BinOp::Div, &Value::Int(EXACT + 1), &Value::Int(2)).unwrap_err();
+        assert!(matches!(err, KgmError::Type(_)), "{err}");
+        assert!(bin(BinOp::Div, &Value::Int(3), &Value::Int(-EXACT - 1)).is_err());
     }
 
     #[test]

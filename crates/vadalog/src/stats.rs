@@ -7,13 +7,14 @@
 //!
 //! ```text
 //! run|<strata>|<iterations>|<derived>|<nulls>|<duplicates>|<elapsed_ms>
+//! par|<shards_spawned>|<worker_candidates>|<merge_dedup_hits>
 //! stratum|<idx>|<iterations>|<derived>|<duplicates>|<nulls>|<elapsed_ms>
 //! rule|<idx>|<head>|<evals>|<delta_evals>|<bindings>|<emitted>|<elapsed_ms>
 //! ```
 //!
-//! Exactly one `run` line (first), then zero or more `stratum` and `rule`
-//! lines in any order. Elapsed times round-trip at microsecond precision
-//! (`{:.3}` ms).
+//! Exactly one `run` line (first) and one `par` line (all zeroes for a
+//! sequential run), then zero or more `stratum` and `rule` lines in any
+//! order. Elapsed times round-trip at microsecond precision (`{:.3}` ms).
 
 use crate::engine::{ChaseProfile, RuleProfile, RunStats, StratumProfile};
 use kgm_common::codec::{escape, unescape, CodecError};
@@ -30,6 +31,12 @@ impl RunStats {
             self.nulls_created,
             self.duplicates_rejected,
             self.elapsed_ms,
+        ));
+        out.push_str(&format!(
+            "par|{}|{}|{}\n",
+            self.profile.shards_spawned,
+            self.profile.worker_candidates,
+            self.profile.merge_dedup_hits,
         ));
         for s in &self.profile.strata {
             out.push_str(&format!(
@@ -100,6 +107,20 @@ impl RunStats {
                         elapsed_ms: ms(7)?,
                         profile: ChaseProfile::default(),
                     });
+                }
+                "par" => {
+                    if fields.len() != 4 {
+                        return Err(bad(&format!(
+                            "expected 4 fields, got {}",
+                            fields.len()
+                        )));
+                    }
+                    let num = |f: &str| -> Result<usize, CodecError> {
+                        f.parse().map_err(|_| bad(&format!("bad number {f:?}")))
+                    };
+                    profile.shards_spawned = num(fields[1])?;
+                    profile.worker_candidates = num(fields[2])?;
+                    profile.merge_dedup_hits = num(fields[3])?;
                 }
                 "stratum" => {
                     let n = nums(1, 7)?;
@@ -182,6 +203,9 @@ mod tests {
                     facts_emitted: 49,
                     elapsed_ms: 0.75,
                 }],
+                shards_spawned: 12,
+                worker_candidates: 90,
+                merge_dedup_hits: 11,
             },
         }
     }
@@ -197,8 +221,8 @@ mod tests {
     #[test]
     fn format_is_line_oriented_and_pipe_escaped() {
         let text = sample().to_text();
-        assert!(text.starts_with("run|2|5|42|3|7|1.500\n"), "{text}");
-        assert_eq!(text.lines().count(), 4);
+        assert!(text.starts_with("run|2|5|42|3|7|1.500\npar|12|90|11\n"), "{text}");
+        assert_eq!(text.lines().count(), 5);
         assert!(
             text.contains("rule|0|path,odd\\pname|4|3|100|49|0.750"),
             "head with a pipe must be escaped: {text}"

@@ -76,4 +76,32 @@ cargo run --release --offline -q -p kgm-bench --bin paper-harness -- \
     BENCH_chase.json BENCH_control_pipeline.json
 echo "ok: run report + BENCH mirrors written and valid"
 
+echo "== parallel chase determinism smoke =="
+# The sharded chase guarantees bit-identical output for any KGM_THREADS;
+# cross-check the derived-fact counter of the E7 pipeline's own chase span
+# (the first `chase.run` in the report — the global `chase.facts_derived`
+# counter also accumulates the BENCH refresh, whose adaptive iteration
+# count varies with wall-clock, so it is not comparable across runs).
+report=target/paper-artifacts/run_report_e7.json
+derived() {
+    grep -o '"name": "chase.run"[^[]*' "$report" | head -1 \
+        | grep -o '"derived": [0-9]*' | awk '{print $2}'
+}
+KGM_LOG=summary KGM_THREADS=1 cargo run --release --offline -q -p kgm-bench \
+    --bin paper-harness -- e7 150 --profile >/dev/null
+t1=$(derived)
+KGM_LOG=summary KGM_THREADS=4 cargo run --release --offline -q -p kgm-bench \
+    --bin paper-harness -- e7 150 --profile >/dev/null
+t4=$(derived)
+if [ -z "$t1" ] || [ -z "$t4" ]; then
+    echo "ERROR: run report lacks the chase.facts_derived counter" >&2
+    exit 1
+fi
+if [ "$t1" != "$t4" ]; then
+    echo "ERROR: sharded chase diverged: $t1 derived facts at KGM_THREADS=1" \
+        "vs $t4 at KGM_THREADS=4" >&2
+    exit 1
+fi
+echo "ok: KGM_THREADS=1 and KGM_THREADS=4 both derive $t1 facts"
+
 echo "ci: all checks passed"
