@@ -33,97 +33,113 @@
 //! paper-harness validate-json FILE…   # exit non-zero unless every FILE is
 //!                                     # valid JSON (CI smoke helper)
 //! ```
+//!
+//! Failures are propagated, not panicked: every experiment error reaches
+//! `main`, is printed to stderr, and exits non-zero (unknown experiments
+//! exit 2) — so CI and the chaos smoke can assert on exit codes.
 
 use kgm_bench::*;
+use kgm_common::{KgmError, Result};
 use kgm_core::intensional::MaterializationMode;
 use kgm_finance::control::{control_vadalog, control_vadalog_threads};
 use kgm_runtime::telemetry;
 use std::fs;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn artifacts_dir() -> PathBuf {
+fn artifacts_dir() -> Result<PathBuf> {
     let dir = PathBuf::from("target/paper-artifacts");
-    fs::create_dir_all(&dir).expect("create artifacts dir");
-    dir
+    fs::create_dir_all(&dir)
+        .map_err(|e| KgmError::Internal(format!("create artifacts dir: {e}")))?;
+    Ok(dir)
 }
 
-fn save(name: &str, content: &str) {
-    let path = artifacts_dir().join(name);
-    fs::write(&path, content).expect("write artifact");
+fn save(name: &str, content: &str) -> Result<()> {
+    let path = artifacts_dir()?.join(name);
+    fs::write(&path, content)
+        .map_err(|e| KgmError::Internal(format!("write artifact {}: {e}", path.display())))?;
     println!("  [artifact] {}", path.display());
+    Ok(())
 }
 
-fn run_e1(nodes: usize) {
-    let r = e1_graph_stats(nodes).expect("e1");
+fn run_e1(nodes: usize) -> Result<()> {
+    let r = e1_graph_stats(nodes)?;
     println!("{}", r.report);
-    save("e1_degree_distribution.txt", &r.degree_distribution);
+    save("e1_degree_distribution.txt", &r.degree_distribution)
 }
 
-fn run_e2() {
-    let (mm, sm, table) = e2_meta_and_super_model().expect("e2");
+fn run_e2() -> Result<()> {
+    let (mm, sm, table) = e2_meta_and_super_model()?;
     println!("E2 — Figures 2–3 regenerated.");
     println!("{table}");
-    save("figure2_meta_model.dot", &mm);
-    save("figure3_super_model.dot", &sm);
-    save("figure3_gamma_sm.txt", &table);
+    save("figure2_meta_model.dot", &mm)?;
+    save("figure3_super_model.dot", &sm)?;
+    save("figure3_gamma_sm.txt", &table)
 }
 
-fn run_e3() {
-    let (_, dot) = e3_company_kg_diagram().expect("e3");
+fn run_e3() -> Result<()> {
+    let (_, dot) = e3_company_kg_diagram()?;
     println!("E3 — Figure 4 (Company KG GSL diagram) regenerated.");
-    save("figure4_company_kg.dot", &dot);
+    save("figure4_company_kg.dot", &dot)
 }
 
-fn run_e4() {
-    let (_, report) = e4_pg_translation().expect("e4");
+fn run_e4() -> Result<()> {
+    let (_, report) = e4_pg_translation()?;
     println!("{report}");
-    save("figure6_pg_schema.txt", &report);
+    save("figure6_pg_schema.txt", &report)
 }
 
-fn run_e5() {
-    let (rel, report) = e5_relational_translation().expect("e5");
+fn run_e5() -> Result<()> {
+    let (rel, report) = e5_relational_translation()?;
     println!(
         "E5 — Figure 8: {} tables, {} foreign keys (full DDL in artifact)",
         rel.tables.len(),
         rel.foreign_keys.len()
     );
-    save("figure8_relational.sql", &report);
+    save("figure8_relational.sql", &report)
 }
 
-fn run_e6(nodes: usize) {
-    let report = e6_instance_constructs(nodes).expect("e6");
+fn run_e6(nodes: usize) -> Result<()> {
+    let report = e6_instance_constructs(nodes)?;
     println!("{report}");
+    Ok(())
 }
 
-fn run_e7(sizes: &[usize]) {
-    let rows: Vec<E7Row> = sizes
+fn run_e7(sizes: &[usize]) -> Result<()> {
+    let rows = sizes
         .iter()
-        .map(|&n| e7_control_pipeline(n, MaterializationMode::SinglePass).expect("e7"))
-        .collect();
+        .map(|&n| e7_control_pipeline(n, MaterializationMode::SinglePass))
+        .collect::<Result<Vec<E7Row>>>()?;
     let report = e7_report(&rows);
     println!("{report}");
-    save("e7_control_pipeline.txt", &report);
+    save("e7_control_pipeline.txt", &report)
 }
 
-fn run_e8(nodes: usize) {
-    let r = e8_mtv_overhead(nodes).expect("e8");
+fn run_e8(nodes: usize) -> Result<()> {
+    let r = e8_mtv_overhead(nodes)?;
     println!("{}", r.report);
+    Ok(())
 }
 
-fn run_e9() {
-    let report = e9_strategies().expect("e9");
+fn run_e9() -> Result<()> {
+    let report = e9_strategies()?;
     println!("{report}");
+    Ok(())
 }
 
-fn run_e10(nodes: usize) {
-    let report = e10_staging(nodes).expect("e10");
+fn run_e10(nodes: usize) -> Result<()> {
+    let report = e10_staging(nodes)?;
     println!("{report}");
+    Ok(())
 }
 
 /// Refresh the two repo-root perf-trajectory files with a quick in-process
 /// bench pass: the raw chase (direct Vadalog control program, at the
 /// env-default worker count plus pinned 1-thread and N-thread runs for the
 /// parallel-chase trajectory) and the full Algorithm 2 control pipeline.
+/// (The `expect`s inside `b.iter` closures stay: the bench driver's closure
+/// signature cannot propagate errors, and a failing benchmark body is a
+/// legitimate panic.)
 fn refresh_bench_reports() {
     let mut criterion = kgm_runtime::bench::Criterion::new();
     let g = bench_graph(400);
@@ -194,7 +210,7 @@ fn run_report_json(cmd: &str, spans: &[telemetry::SpanNode]) -> String {
     out
 }
 
-fn validate_json_files(files: &[String]) -> ! {
+fn validate_json_files(files: &[String]) -> ExitCode {
     let mut failed = false;
     for f in files {
         let verdict = fs::read_to_string(f)
@@ -214,10 +230,14 @@ fn validate_json_files(files: &[String]) -> ! {
             }
         }
     }
-    std::process::exit(if failed { 1 } else { 0 });
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
-fn main() {
+fn run_cli() -> Result<ExitCode> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let profile = raw.iter().any(|a| a == "--profile");
     let trace = raw.iter().any(|a| a == "--trace");
@@ -242,7 +262,7 @@ fn main() {
     }
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     if cmd == "validate-json" {
-        validate_json_files(&args[1..]);
+        return Ok(validate_json_files(&args[1..]));
     }
     if trace {
         telemetry::force_trace(true);
@@ -254,46 +274,46 @@ fn main() {
             .unwrap_or(default)
     };
     match cmd {
-        "e1" => run_e1(num(1, 100_000)),
-        "e2" => run_e2(),
-        "e3" => run_e3(),
-        "e4" => run_e4(),
-        "e5" => run_e5(),
-        "e6" => run_e6(num(1, 2_000)),
+        "e1" => run_e1(num(1, 100_000))?,
+        "e2" => run_e2()?,
+        "e3" => run_e3()?,
+        "e4" => run_e4()?,
+        "e5" => run_e5()?,
+        "e6" => run_e6(num(1, 2_000))?,
         "e7" => {
             let sizes: Vec<usize> = args
                 .get(1)
                 .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
                 .unwrap_or_else(|| vec![1_000, 2_000, 5_000, 10_000]);
-            run_e7(&sizes)
+            run_e7(&sizes)?
         }
-        "e8" => run_e8(num(1, 2_000)),
-        "e9" => run_e9(),
-        "e10" => run_e10(num(1, 1_000)),
+        "e8" => run_e8(num(1, 2_000))?,
+        "e9" => run_e9()?,
+        "e10" => run_e10(num(1, 1_000))?,
         "all" => {
-            run_e1(50_000);
+            run_e1(50_000)?;
             println!();
-            run_e2();
+            run_e2()?;
             println!();
-            run_e3();
+            run_e3()?;
             println!();
-            run_e4();
+            run_e4()?;
             println!();
-            run_e5();
+            run_e5()?;
             println!();
-            run_e6(2_000);
+            run_e6(2_000)?;
             println!();
-            run_e7(&[500, 1_000, 2_000, 5_000]);
+            run_e7(&[500, 1_000, 2_000, 5_000])?;
             println!();
-            run_e8(2_000);
+            run_e8(2_000)?;
             println!();
-            run_e9();
+            run_e9()?;
             println!();
-            run_e10(1_000);
+            run_e10(1_000)?;
         }
         other => {
             eprintln!("unknown experiment `{other}`; use e1..e10 or all");
-            std::process::exit(2);
+            return Ok(ExitCode::from(2));
         }
     }
     if profile && matches!(cmd, "e7" | "all") {
@@ -307,6 +327,17 @@ fn main() {
             print!("{}", s.render_tree());
         }
         let report = run_report_json(cmd, &spans);
-        save(&format!("run_report_{cmd}.json"), &report);
+        save(&format!("run_report_{cmd}.json"), &report)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run_cli() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("paper-harness: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

@@ -314,9 +314,16 @@ pub fn e7_report(rows: &[E7Row]) -> String {
     for r in rows {
         let lf = r.stats.load_ms + r.stats.flush_ms;
         let ratio = if lf > 0.0 { r.stats.reason_ms / lf } else { 0.0 };
+        // A truncated chase (deadline, cap, cancellation) still yields a
+        // usable prefix — but the row must say so.
+        let truncated = if r.stats.termination.is_complete() {
+            String::new()
+        } else {
+            format!("  [truncated: {}]", r.stats.termination)
+        };
         writeln!(
             report,
-            "{:>8} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>8.1}:1 {:>8}",
+            "{:>8} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>8.1}:1 {:>8}{truncated}",
             r.nodes, r.edges, r.stats.load_ms, r.stats.reason_ms, r.stats.flush_ms, ratio,
             r.control_edges
         )

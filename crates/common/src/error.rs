@@ -31,6 +31,9 @@ pub enum KgmError {
     Translation(String),
     /// The reasoner exceeded a safety bound (null depth, iteration cap).
     ResourceExhausted(String),
+    /// A run was cooperatively cancelled (via a `CancelToken`) while the
+    /// caller had opted into strict erroring.
+    Cancelled(String),
     /// Type mismatch between values.
     Type(String),
     /// Catch-all for invariants that should never break.
@@ -59,6 +62,7 @@ impl fmt::Display for KgmError {
             KgmError::NotFound(m) => write!(f, "not found: {m}"),
             KgmError::Translation(m) => write!(f, "translation error: {m}"),
             KgmError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            KgmError::Cancelled(m) => write!(f, "cancelled: {m}"),
             KgmError::Type(m) => write!(f, "type error: {m}"),
             KgmError::Internal(m) => write!(f, "internal error: {m}"),
         }

@@ -32,7 +32,7 @@ use kgm_metalog::{parse_metalog, translate, PgSchema};
 use kgm_pgstore::{NodeId, PropertyGraph};
 use kgm_vadalog::{
     Atom, Engine, EngineConfig, FactDb, InputBinding, InputSource, Program, Rule,
-    RuleStep, SourceRegistry, Term, Var,
+    RuleStep, SourceRegistry, Term, Termination, Var,
 };
 use std::sync::Arc;
 use kgm_runtime::telemetry;
@@ -70,6 +70,10 @@ pub struct MaterializationStats {
     pub new_attrs: usize,
     /// Facts derived by the reasoner.
     pub derived_facts: usize,
+    /// Why the chase stopped. Anything but `Termination::Complete` means
+    /// the materialized view is a *truncated* (prefix-consistent) result —
+    /// callers decide whether a partial view is acceptable.
+    pub termination: Termination,
 }
 
 /// Rule construction helper: named variables with per-rule indices.
@@ -685,6 +689,7 @@ pub fn materialize(
                     engine.load_inputs(&registry, &mut db)?;
                     let run = engine.run(&mut db)?;
                     stats.derived_facts = run.derived_facts;
+                    stats.termination = run.termination;
                     db
                 }
                 MaterializationMode::Staged => {
@@ -705,6 +710,13 @@ pub fn materialize(
                     }
                     let run2 = engine.run(&mut db)?;
                     stats.derived_facts = run1.derived_facts + run2.derived_facts;
+                    // The earlier stage's truncation dominates: a truncated
+                    // staging area taints everything derived from it.
+                    stats.termination = if !run1.termination.is_complete() {
+                        run1.termination
+                    } else {
+                        run2.termination
+                    };
                     db
                 }
             };

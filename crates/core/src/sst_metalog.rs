@@ -202,7 +202,15 @@ pub fn run_mapping(
     );
     let meta = parse_metalog(metalog_src)?;
     let out = translate(&meta, catalog, "dict")?;
-    let engine = Engine::with_config(out.program, EngineConfig::default())?;
+    // Strict: a truncated schema-transformation chase would silently drop
+    // result constructs, so budget overruns must error, not degrade.
+    let engine = Engine::with_config(
+        out.program,
+        EngineConfig {
+            strict: true,
+            ..EngineConfig::default()
+        },
+    )?;
     let mut registry = SourceRegistry::new();
     registry.add_graph("dict", graph);
     let mut db = FactDb::new();

@@ -377,7 +377,15 @@ pub fn translate_to_relational_via_metalog(schema: &SuperSchema) -> Result<RelMe
      -> Result<(PropertyGraph, String)> {
         let meta = parse_metalog(src)?;
         let out = translate(&meta, &catalog, "dict")?;
-        let engine = Engine::with_config(out.program, EngineConfig::default())?;
+        // Strict: a truncated schema-transformation chase would silently
+        // drop result constructs, so budget overruns must error.
+        let engine = Engine::with_config(
+            out.program,
+            EngineConfig {
+                strict: true,
+                ..EngineConfig::default()
+            },
+        )?;
         let mut registry = SourceRegistry::new();
         registry.add_graph("dict", graph);
         let mut db = FactDb::new();

@@ -254,6 +254,9 @@ pub fn export(g: &PropertyGraph) -> (String, String) {
 /// OIDs are re-minted by the target graph; topology, labels and properties
 /// are preserved.
 pub fn import(nodes_csv: &str, edges_csv: &str) -> Result<PropertyGraph> {
+    if let Some(msg) = kgm_runtime::fault::trip("csv.import") {
+        return Err(KgmError::Internal(msg));
+    }
     let mut g = PropertyGraph::new();
     let mut by_old_oid: FxHashMap<u64, NodeId> = FxHashMap::default();
     // Accumulate node rows: oid → (labels, props)

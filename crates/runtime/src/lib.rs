@@ -13,6 +13,7 @@
 //! | [`bench`] | `criterion`   | warmup/calibrated micro-benchmarks with JSON reports |
 //! | [`telemetry`] | `tracing` + `metrics` | hierarchical spans, counters/gauges/histograms, console + JSONL sinks |
 //! | [`json`]  | `serde_json` (validation only) | JSON/JSONL well-formedness checks for emitted artefacts |
+//! | [`fault`] | — | deterministic fault injection (`KGM_FAULT=<site>:<prob>:<seed>`), off by default |
 //!
 //! (The remaining removed dependency, `serde`, is replaced by hand-rolled
 //! `to_text`/`from_text` codecs in `kgm-common` itself.)
@@ -22,6 +23,7 @@
 //! sharding preserves input order.
 
 pub mod bench;
+pub mod fault;
 pub mod json;
 pub mod par;
 pub mod prop;
@@ -31,5 +33,5 @@ pub mod telemetry;
 
 pub use par::{default_threads, map_shards, par_map};
 pub use rng::{split_mix64, Rng, SampleUniform};
-pub use sync::{Mutex, RwLock};
+pub use sync::{CancelToken, Mutex, RwLock};
 pub use telemetry::{Collector, MetricsSnapshot, SpanGuard, SpanNode, Verbosity};

@@ -7,7 +7,8 @@
 //! here (interner tables, Skolem tables) stays consistent under panic
 //! (append-only maps mutated in a single statement).
 
-use std::sync::{self, PoisonError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{self, Arc, PoisonError};
 
 /// A mutual-exclusion lock whose `lock()` never fails.
 #[derive(Debug, Default)]
@@ -53,6 +54,34 @@ impl<T> RwLock<T> {
     /// Consume the lock and return the inner value.
     pub fn into_inner(self) -> T {
         self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A shared cooperative-cancellation flag.
+///
+/// Clones observe the same flag (it is an `Arc` internally), so a caller
+/// can hand one clone to a long-running computation — the chase engine
+/// polls it inside its binding loops and shard workers — and trip the other
+/// from any thread. Cancellation is cooperative and one-way: once
+/// [`CancelToken::cancel`] is called, every observer sees
+/// [`CancelToken::is_cancelled`] forever.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested (on any clone)?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
     }
 }
 
@@ -107,5 +136,16 @@ mod tests {
     fn into_inner_unwraps() {
         assert_eq!(Mutex::new(3).into_inner(), 3);
         assert_eq!(RwLock::new(4).into_inner(), 4);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones_and_threads() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        let observer = token.clone();
+        std::thread::spawn(move || observer.cancel()).join().unwrap();
+        assert!(token.is_cancelled(), "cancel on a clone is visible");
+        token.cancel(); // idempotent
+        assert!(token.clone().is_cancelled());
     }
 }

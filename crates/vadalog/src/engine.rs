@@ -24,10 +24,12 @@ use crate::eval::{eval, EvalCtx};
 use kgm_common::{
     FxHashMap, FxHashSet, KgmError, Oid, OidGen, OidSpace, Result, SkolemRegistry, Value,
 };
+use kgm_runtime::sync::CancelToken;
 use kgm_runtime::telemetry;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------
 // Fact storage
@@ -234,6 +236,23 @@ impl FactDb {
         self.total
     }
 
+    /// Approximate resident bytes of the stored facts, by fact/arity
+    /// accounting: every tuple is stored twice (insertion-order vector and
+    /// dedup set) plus per-entry hash overhead. Deliberately a *proxy* —
+    /// heap payloads behind interned strings/OIDs are not walked — but
+    /// monotone in the fact count, which is what the
+    /// [`EngineConfig::max_bytes`] budget needs.
+    pub fn approx_bytes(&self) -> usize {
+        const PER_TUPLE_OVERHEAD: usize = 48;
+        self.rels
+            .values()
+            .map(|r| {
+                r.tuples.len()
+                    * (2 * r.arity * std::mem::size_of::<Value>() + PER_TUPLE_OVERHEAD)
+            })
+            .sum()
+    }
+
     /// Exact containment test.
     pub fn contains(&self, predicate: &str, tuple: &[Value]) -> bool {
         self.rels
@@ -281,6 +300,28 @@ pub struct EngineConfig {
     /// because thread spawn would dominate. Tests pin this to 1 to force the
     /// parallel path on tiny inputs.
     pub min_parallel_batch: usize,
+    /// Wall-clock budget for the whole run in milliseconds (`None` =
+    /// unbounded). `0` stops at the first governor check — useful to prove
+    /// degradation paths deterministically. Defaults to the
+    /// `KGM_DEADLINE_MS` environment variable when set.
+    pub deadline_ms: Option<u64>,
+    /// Wall-clock budget per stratum in milliseconds (`None` = unbounded).
+    /// An overrun terminates the run with [`Termination::Deadline`].
+    pub max_stratum_ms: Option<u64>,
+    /// Approximate memory budget in bytes, measured against
+    /// [`FactDb::approx_bytes`] (`None` = unbounded).
+    pub max_bytes: Option<usize>,
+    /// Budget/cancellation policy. `false` (the default): exceeding a
+    /// budget degrades gracefully — [`Engine::run`] returns `Ok` with the
+    /// partial `FactDb` intact and [`RunStats::termination`] naming the
+    /// stop reason. `true`: restore the historical behavior of returning
+    /// `Err` ([`KgmError::ResourceExhausted`] / [`KgmError::Cancelled`]).
+    /// The per-stratum `max_iterations` cap never errors in either mode.
+    pub strict: bool,
+    /// Cooperative cancellation token, polled between governor checkpoints
+    /// and (counter-gated) inside binding loops and shard workers. `None`
+    /// disables polling entirely.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for EngineConfig {
@@ -291,7 +332,79 @@ impl Default for EngineConfig {
             require_warded: true,
             threads: kgm_runtime::par::threads_from_env(),
             min_parallel_batch: 256,
+            deadline_ms: std::env::var("KGM_DEADLINE_MS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok()),
+            max_stratum_ms: None,
+            max_bytes: None,
+            strict: false,
+            cancel: None,
         }
+    }
+}
+
+/// Why a chase run stopped — [`RunStats::termination`].
+///
+/// Everything except [`Termination::Complete`] marks a *truncated* run: the
+/// `FactDb` then holds the facts inserted up to the last completed
+/// fixpoint-iteration boundary (plus, for `FactCap`, the batch that crossed
+/// the cap), which is a prefix of what the unbounded run would have
+/// inserted. [`Termination::IterationCap`] is the one *soft* stop: the
+/// affected stratum is truncated but subsequent strata still execute,
+/// preserving the long-standing `max_iterations` semantics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Termination {
+    /// Every stratum reached its fixpoint.
+    #[default]
+    Complete,
+    /// `max_facts` was exceeded.
+    FactCap,
+    /// At least one stratum hit `max_iterations` before its fixpoint.
+    IterationCap,
+    /// `deadline_ms` (or `max_stratum_ms`) elapsed.
+    Deadline,
+    /// The configured [`CancelToken`] was tripped.
+    Cancelled,
+    /// `max_bytes` was exceeded.
+    MemoryBudget,
+}
+
+impl Termination {
+    /// Stable machine-readable name (used by the stats codec and the
+    /// `chase.termination.<name>` telemetry counters).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Termination::Complete => "complete",
+            Termination::FactCap => "fact_cap",
+            Termination::IterationCap => "iteration_cap",
+            Termination::Deadline => "deadline",
+            Termination::Cancelled => "cancelled",
+            Termination::MemoryBudget => "memory_budget",
+        }
+    }
+
+    /// Inverse of [`Termination::as_str`].
+    pub fn parse(s: &str) -> Option<Termination> {
+        Some(match s {
+            "complete" => Termination::Complete,
+            "fact_cap" => Termination::FactCap,
+            "iteration_cap" => Termination::IterationCap,
+            "deadline" => Termination::Deadline,
+            "cancelled" => Termination::Cancelled,
+            "memory_budget" => Termination::MemoryBudget,
+            _ => return None,
+        })
+    }
+
+    /// Did the run reach every fixpoint?
+    pub fn is_complete(self) -> bool {
+        self == Termination::Complete
+    }
+}
+
+impl std::fmt::Display for Termination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -310,6 +423,15 @@ pub struct RunStats {
     pub duplicates_rejected: usize,
     /// Wall-clock time of the whole run in milliseconds.
     pub elapsed_ms: f64,
+    /// Why the run stopped; anything but [`Termination::Complete`] marks a
+    /// truncated (but internally consistent) result.
+    pub termination: Termination,
+    /// Stratum index where the run stopped (the last executed stratum for
+    /// complete runs).
+    pub stopped_stratum: usize,
+    /// Fixpoint iterations executed *within* `stopped_stratum` when the
+    /// run stopped.
+    pub stopped_iteration: usize,
     /// Per-stratum and per-rule breakdown.
     pub profile: ChaseProfile,
 }
@@ -333,6 +455,13 @@ pub struct ChaseProfile {
     /// counted in `duplicates_rejected`) so parallel and sequential runs
     /// stay bit-identical; this counter just sizes the redundant work.
     pub merge_dedup_hits: usize,
+    /// Cancellation/deadline polls performed inside binding loops (0 when
+    /// neither a cancel token nor a deadline was configured).
+    pub cancel_polls: usize,
+    /// Faults `kgm_runtime::fault` injected while this run executed (only
+    /// observable in the stats when the run still returned them, i.e. the
+    /// injected failure was tolerated or struck another thread).
+    pub faults_injected: usize,
 }
 
 /// Chase counters for one stratum.
@@ -396,6 +525,133 @@ struct RuleMeta {
     /// join orders can probe — built eagerly once per fixpoint iteration so
     /// the parallel phase reads a frozen database.
     index_needs: Vec<(String, Vec<usize>)>,
+}
+
+/// The resource governor: one cheap check, run at stratum boundaries and
+/// once per fixpoint iteration, that maps an exceeded budget (or a tripped
+/// cancel token) to the [`Termination`] that stops the run. Checks are
+/// ordered most- to least-urgent: cancellation, wall-clock deadlines,
+/// memory proxy, fact cap.
+struct Governor<'a> {
+    deadline: Option<Instant>,
+    stratum_budget: Option<Duration>,
+    max_bytes: Option<usize>,
+    max_facts: usize,
+    cancel: Option<&'a CancelToken>,
+}
+
+impl Governor<'_> {
+    fn check(&self, db: &FactDb, t_stratum: Instant) -> Option<Termination> {
+        if let Some(tok) = self.cancel {
+            if tok.is_cancelled() {
+                return Some(Termination::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(Termination::Deadline);
+            }
+        }
+        if let Some(b) = self.stratum_budget {
+            if t_stratum.elapsed() >= b {
+                return Some(Termination::Deadline);
+            }
+        }
+        if let Some(b) = self.max_bytes {
+            if db.approx_bytes() > b {
+                return Some(Termination::MemoryBudget);
+            }
+        }
+        if db.total_facts() > self.max_facts {
+            return Some(Termination::FactCap);
+        }
+        None
+    }
+}
+
+/// Shared interruption state polled cooperatively inside binding loops —
+/// both the sequential join and every shard worker poll the same instance
+/// (all fields are atomics), so a cancel or deadline stops a parallel chase
+/// within one batch. Polling is counter-gated: the cancel token and the
+/// clock are consulted once every `POLL_MASK + 1` join steps. When nothing
+/// is configured the whole check is two branches on immutable `None`s, so
+/// the default path costs nothing measurable.
+struct InterruptState {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+    steps: AtomicU32,
+    polls: AtomicUsize,
+    /// 0 = not interrupted, 1 = cancelled, 2 = deadline.
+    hit: AtomicU8,
+}
+
+impl InterruptState {
+    const POLL_MASK: u32 = 1023;
+
+    fn new(cancel: Option<CancelToken>, deadline: Option<Instant>) -> Self {
+        InterruptState {
+            cancel,
+            deadline,
+            steps: AtomicU32::new(0),
+            polls: AtomicUsize::new(0),
+            hit: AtomicU8::new(0),
+        }
+    }
+
+    fn hit(&self) -> Option<Termination> {
+        match self.hit.load(Ordering::Acquire) {
+            0 => None,
+            1 => Some(Termination::Cancelled),
+            _ => Some(Termination::Deadline),
+        }
+    }
+
+    /// True when the run should stop enumerating. Sticky: once an
+    /// interruption is observed every subsequent call returns `true`.
+    fn interrupted(&self) -> bool {
+        if self.cancel.is_none() && self.deadline.is_none() {
+            return false;
+        }
+        if self.hit.load(Ordering::Relaxed) != 0 {
+            return true;
+        }
+        let n = self.steps.fetch_add(1, Ordering::Relaxed);
+        if n & Self::POLL_MASK != 0 {
+            return false;
+        }
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                self.hit.store(1, Ordering::Release);
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.hit.store(2, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The sentinel error binding loops raise to unwind out of a join when
+/// [`InterruptState::interrupted`] fires. `Engine::run` inspects
+/// `InterruptState::hit` before propagating evaluation errors, so this
+/// never escapes to callers (in graceful mode it becomes a recorded
+/// [`Termination`]; in strict mode it is rebuilt with a proper message).
+fn interrupt_sentinel() -> KgmError {
+    KgmError::Cancelled("chase interrupted".to_string())
+}
+
+/// Human-readable panic payload of a caught shard-worker panic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 /// The Vadalog reasoner.
@@ -546,6 +802,22 @@ impl Engine {
             self.analysis.stratification.count
         );
         let t_run = Instant::now();
+        let deadline = self
+            .config
+            .deadline_ms
+            .map(|ms| t_run + Duration::from_millis(ms));
+        let governor = Governor {
+            deadline,
+            stratum_budget: self.config.max_stratum_ms.map(Duration::from_millis),
+            max_bytes: self.config.max_bytes,
+            max_facts: self.config.max_facts,
+            cancel: self.config.cancel.as_ref(),
+        };
+        let interrupt = InterruptState::new(self.config.cancel.clone(), deadline);
+        let faults_before = kgm_runtime::fault::injected_total();
+        // Graceful-stop reason, set by `stop_run!` below; `None` means the
+        // run either completed or soft-stopped on the iteration cap.
+        let mut stop: Option<Termination> = None;
         let mut stats = RunStats::default();
         stats.profile.rules = self
             .program
@@ -581,28 +853,71 @@ impl Engine {
 
         let strata = self.analysis.stratification.count;
         stats.strata = strata;
-        for s in 0..strata {
+        'strata: for s in 0..strata {
             let stratum_span = kgm_runtime::span!("chase.stratum", "{s}");
             let t_stratum = Instant::now();
             let iters_before = stats.iterations;
             let derived_before = stats.derived_facts;
             let dups_before = stats.duplicates_rejected;
             let nulls_before = null_gen.count() as usize;
+            // Shared stop path for every governed budget. Strict mode keeps
+            // the historical erroring behavior; graceful mode records the
+            // termination and the stop watermark, closes this stratum's
+            // books, and leaves the partial `FactDb` exactly as of the last
+            // completed insert batch.
+            macro_rules! stop_run {
+                ($t:expr) => {{
+                    let t = $t;
+                    if self.config.strict {
+                        return Err(self.budget_error(t, db));
+                    }
+                    stop = Some(t);
+                    stats.stopped_stratum = s;
+                    stats.stopped_iteration = stats.iterations - iters_before;
+                    self.close_stratum(&mut stats, s, &stratum_span, t_stratum, iters_before,
+                        derived_before, dups_before, nulls_before, null_gen.count() as usize);
+                    // Tail expression (no semicolon): the macro has type `!`
+                    // so it can sit in expression position (match arms).
+                    break 'strata
+                }};
+            }
+            macro_rules! governed {
+                () => {
+                    if let Some(t) = governor.check(db, t_stratum) {
+                        stop_run!(t);
+                    }
+                };
+            }
             // 1. Exact aggregate rules of this stratum (body is complete).
             for (ri, rule) in self.program.rules.iter().enumerate() {
                 if self.meta[ri].stratum != s {
                     continue;
                 }
                 if self.meta[ri].agg_mode == Some(AggMode::Exact) {
+                    governed!();
                     let t_rule = Instant::now();
                     for (pred, positions) in &self.meta[ri].index_needs {
                         db.ensure_index(pred, positions);
                     }
-                    let new_facts =
-                        self.eval_exact_agg_rule(db, ri, rule, &null_gen, &mut nulls)?;
+                    let new_facts = match self
+                        .eval_exact_agg_rule(db, ri, rule, &null_gen, &mut nulls, &interrupt)
+                    {
+                        Ok(v) => v,
+                        // Interrupted mid-join: the whole rule evaluation is
+                        // discarded (nothing was inserted yet), keeping the
+                        // database prefix-consistent. Genuine errors still
+                        // propagate.
+                        Err(e) => match interrupt.hit() {
+                            Some(t) => stop_run!(t),
+                            None => return Err(e),
+                        },
+                    };
                     let emitted = new_facts.len();
                     let mut inserted = 0usize;
                     for (pred, tuple) in new_facts {
+                        if let Some(msg) = kgm_runtime::fault::trip("chase.insert") {
+                            return Err(KgmError::Internal(format!("{msg} ({pred})")));
+                        }
                         if db.insert(&pred, tuple)? {
                             inserted += 1;
                         }
@@ -629,7 +944,9 @@ impl Engine {
             // Delta bookkeeping: predicate → length before this iteration.
             let mut watermark: FxHashMap<String, usize> = FxHashMap::default();
             let mut first = true;
+            let mut reached_fixpoint = false;
             for _iter in 0..self.config.max_iterations {
+                governed!();
                 stats.iterations += 1;
                 // Freeze the database for this iteration: build every index
                 // any rule's join order can probe, so the evaluation phase
@@ -640,21 +957,23 @@ impl Engine {
                     }
                 }
                 let mut out: Vec<(String, Vec<Value>)> = Vec::new();
+                let mut hit: Option<Termination> = None;
                 for &ri in &rules {
                     let rule = &self.program.rules[ri];
-                    if first {
+                    let result = if first {
                         self.eval_rule(
                             db, ri, rule, None, &null_gen, &mut nulls, &mut mono, &mut out,
-                            &mut stats.profile,
-                        )?;
+                            &mut stats.profile, &interrupt,
+                        )
                     } else {
                         // Delta-restricted runs: one per body atom whose
                         // predicate changed in the previous iteration.
+                        let mut r = Ok(());
                         for (ai, atom) in rule.body.iter().enumerate() {
                             let prev = watermark.get(&atom.predicate).copied().unwrap_or(0);
                             let cur = db.len(&atom.predicate);
                             if cur > prev {
-                                self.eval_rule(
+                                r = self.eval_rule(
                                     db,
                                     ri,
                                     rule,
@@ -664,10 +983,32 @@ impl Engine {
                                     &mut mono,
                                     &mut out,
                                     &mut stats.profile,
-                                )?;
+                                    &interrupt,
+                                );
+                                if r.is_err() {
+                                    break;
+                                }
                             }
                         }
+                        r
+                    };
+                    if let Err(e) = result {
+                        match interrupt.hit() {
+                            Some(t) => {
+                                hit = Some(t);
+                                break;
+                            }
+                            None => return Err(e),
+                        }
                     }
+                }
+                if let Some(t) = hit {
+                    // Interrupted mid-evaluation: discard this iteration's
+                    // partial `out` so the database stops exactly at the
+                    // previous insert batch — the prefix-consistency
+                    // guarantee of graceful degradation.
+                    drop(out);
+                    stop_run!(t);
                 }
                 // Advance watermarks to the lengths *before* inserting the
                 // new facts, so the next iteration's deltas cover them.
@@ -683,31 +1024,55 @@ impl Engine {
                 let emitted = out.len();
                 let mut inserted = 0usize;
                 for (pred, tuple) in out {
+                    if let Some(msg) = kgm_runtime::fault::trip("chase.insert") {
+                        return Err(KgmError::Internal(format!("{msg} ({pred})")));
+                    }
                     if db.insert(&pred, tuple)? {
                         inserted += 1;
                     }
                 }
                 stats.derived_facts += inserted;
                 stats.duplicates_rejected += emitted - inserted;
-                if db.total_facts() > self.config.max_facts {
-                    return Err(KgmError::ResourceExhausted(format!(
-                        "fact cap exceeded ({} facts)",
-                        db.total_facts()
-                    )));
-                }
-                if inserted == 0 && !first {
-                    break;
-                }
-                if inserted == 0 && first {
+                // Post-insert check (the fact cap's historical timing): the
+                // batch that crossed the cap is kept — still a prefix of the
+                // unbounded run's insertion order.
+                governed!();
+                if inserted == 0 {
+                    reached_fixpoint = true;
                     break;
                 }
                 first = false;
+            }
+            if !reached_fixpoint {
+                // The per-stratum iteration cap truncated this fixpoint: a
+                // *soft* stop — record it but keep executing later strata,
+                // preserving the long-standing `max_iterations` semantics.
+                stats.termination = Termination::IterationCap;
+                stats.stopped_stratum = s;
+                stats.stopped_iteration = stats.iterations - iters_before;
             }
             self.close_stratum(&mut stats, s, &stratum_span, t_stratum, iters_before,
                 derived_before, dups_before, nulls_before, null_gen.count() as usize);
         }
         stats.nulls_created = null_gen.count() as usize;
         stats.elapsed_ms = t_run.elapsed().as_secs_f64() * 1e3;
+        if let Some(t) = stop {
+            // Hard stop: later strata never ran. Make `strata` honest and
+            // let the hard reason override any earlier soft IterationCap.
+            stats.termination = t;
+            stats.strata = stats.profile.strata.len();
+        } else if stats.termination.is_complete() {
+            stats.stopped_stratum = strata.saturating_sub(1);
+            stats.stopped_iteration = stats
+                .profile
+                .strata
+                .last()
+                .map(|sp| sp.iterations)
+                .unwrap_or(0);
+        }
+        stats.profile.cancel_polls = interrupt.polls.load(Ordering::Relaxed);
+        stats.profile.faults_injected =
+            (kgm_runtime::fault::injected_total() - faults_before) as usize;
         if root_span.is_active() {
             for rp in &stats.profile.rules {
                 if rp.evaluations == 0 {
@@ -734,8 +1099,40 @@ impl Engine {
         telemetry::counter_add("chase.facts_derived", stats.derived_facts as i64);
         telemetry::counter_add("chase.duplicates_rejected", stats.duplicates_rejected as i64);
         telemetry::counter_add("chase.nulls_created", stats.nulls_created as i64);
+        telemetry::counter_add(
+            &format!("chase.termination.{}", stats.termination.as_str()),
+            1,
+        );
         telemetry::histogram_record("chase.iterations_per_run", stats.iterations as u64);
         Ok(stats)
+    }
+
+    /// The strict-mode error for a governed stop: the historical `Err`
+    /// behavior, with messages naming both the configured budget and the
+    /// observed value.
+    fn budget_error(&self, t: Termination, db: &FactDb) -> KgmError {
+        match t {
+            Termination::FactCap => KgmError::ResourceExhausted(format!(
+                "fact cap exceeded: {} facts > configured max_facts {}",
+                db.total_facts(),
+                self.config.max_facts
+            )),
+            Termination::Deadline => KgmError::ResourceExhausted(format!(
+                "chase deadline exceeded (deadline_ms={:?}, max_stratum_ms={:?})",
+                self.config.deadline_ms, self.config.max_stratum_ms
+            )),
+            Termination::MemoryBudget => KgmError::ResourceExhausted(format!(
+                "memory budget exceeded: ~{} bytes > configured max_bytes {:?}",
+                db.approx_bytes(),
+                self.config.max_bytes
+            )),
+            Termination::Cancelled => {
+                KgmError::Cancelled("chase cancelled via CancelToken".to_string())
+            }
+            Termination::Complete | Termination::IterationCap => KgmError::Internal(
+                "budget_error called for a non-erroring termination".to_string(),
+            ),
+        }
     }
 
     /// Finish one stratum's bookkeeping: push its [`StratumProfile`] and
@@ -805,6 +1202,7 @@ impl Engine {
         mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
         out: &mut Vec<(String, Vec<Value>)>,
         profile: &mut ChaseProfile,
+        interrupt: &InterruptState,
     ) -> Result<()> {
         // A full pass is equivalent to a delta pass over atom 0's complete
         // range: `join_order` always picks atom 0 first when nothing is
@@ -827,7 +1225,7 @@ impl Engine {
         {
             return self.eval_rule_sharded(
                 db, ri, rule, shard_atom, shard_range, delta.is_some(), null_gen, nulls, mono,
-                out, profile,
+                out, profile, interrupt,
             );
         }
         let t_rule = Instant::now();
@@ -842,6 +1240,7 @@ impl Engine {
             0,
             &delta,
             &mut binding,
+            interrupt,
             &mut |binding| {
                 bindings += 1;
                 self.fire(db, ri, rule, binding, null_gen, nulls, mono, out)
@@ -887,6 +1286,7 @@ impl Engine {
         mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
         out: &mut Vec<(String, Vec<Value>)>,
         profile: &mut ChaseProfile,
+        interrupt: &InterruptState,
     ) -> Result<()> {
         struct ShardOut {
             /// Bindings that completed the join and survived the pure step
@@ -907,46 +1307,70 @@ impl Engine {
         );
         let results: Vec<Result<ShardOut>> =
             kgm_runtime::par::par_map(&shards, shards.len(), |r| {
-                let mut so = ShardOut {
-                    survivors: Vec::new(),
-                    enumerated: 0,
-                };
-                let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
-                // The pure prefix stops before any Aggregate step, so this
-                // map is never consulted; it only satisfies `run_steps`.
-                let mut no_mono: FxHashMap<(usize, Vec<Value>), MonoState> =
-                    FxHashMap::default();
-                let delta = Some((shard_atom, r.clone()));
-                self.join(db, rule, &order, 0, &delta, &mut binding, &mut |binding| {
-                    so.enumerated += 1;
-                    let mut assigned: Vec<Var> = Vec::new();
-                    let keep = self.run_steps(
+                // A panicking worker must not abort the whole process via
+                // `map_shards`' join: catch it here and surface a structured
+                // error carrying the rule id instead. The chase state is
+                // safe to keep — workers only read the frozen database.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if kgm_runtime::fault::should_inject("chase.shard") {
+                        panic!("injected fault at chase.shard");
+                    }
+                    let mut so = ShardOut {
+                        survivors: Vec::new(),
+                        enumerated: 0,
+                    };
+                    let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+                    // The pure prefix stops before any Aggregate step, so this
+                    // map is never consulted; it only satisfies `run_steps`.
+                    let mut no_mono: FxHashMap<(usize, Vec<Value>), MonoState> =
+                        FxHashMap::default();
+                    let delta = Some((shard_atom, r.clone()));
+                    self.join(
                         db,
-                        ri,
                         rule,
-                        0..pure_end,
-                        binding,
-                        &mut assigned,
-                        &mut no_mono,
-                    );
-                    let keep = match keep {
-                        Ok(k) => k,
-                        Err(e) => {
-                            for v in &assigned {
+                        &order,
+                        0,
+                        &delta,
+                        &mut binding,
+                        interrupt,
+                        &mut |binding| {
+                            so.enumerated += 1;
+                            let mut assigned: Vec<Var> = Vec::new();
+                            let keep = self.run_steps(
+                                db,
+                                ri,
+                                rule,
+                                0..pure_end,
+                                binding,
+                                &mut assigned,
+                                &mut no_mono,
+                            );
+                            let keep = match keep {
+                                Ok(k) => k,
+                                Err(e) => {
+                                    for v in &assigned {
+                                        binding[v.0 as usize] = None;
+                                    }
+                                    return Err(e);
+                                }
+                            };
+                            if keep {
+                                so.survivors.push(binding.clone());
+                            }
+                            for v in assigned {
                                 binding[v.0 as usize] = None;
                             }
-                            return Err(e);
-                        }
-                    };
-                    if keep {
-                        so.survivors.push(binding.clone());
-                    }
-                    for v in assigned {
-                        binding[v.0 as usize] = None;
-                    }
-                    Ok(())
-                })?;
-                Ok(so)
+                            Ok(())
+                        },
+                    )?;
+                    Ok(so)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(KgmError::Internal(format!(
+                        "chase shard worker panicked evaluating rule {ri}: {}",
+                        panic_message(&*payload)
+                    )))
+                })
             });
         let shards_spawned = results.len();
         let mut enumerated = 0usize;
@@ -1009,8 +1433,14 @@ impl Engine {
         pos: usize,
         delta: &Option<(usize, Range<usize>)>,
         binding: &mut Vec<Option<Value>>,
+        interrupt: &InterruptState,
         on_match: &mut dyn FnMut(&mut Vec<Option<Value>>) -> Result<()>,
     ) -> Result<()> {
+        if interrupt.interrupted() {
+            // Unwind out of the binding loops with the sentinel; `run`
+            // translates it into a graceful stop (or a proper strict error).
+            return Err(interrupt_sentinel());
+        }
         if pos == order.len() {
             return on_match(binding);
         }
@@ -1072,7 +1502,7 @@ impl Engine {
                 }
             }
             if ok {
-                self.join(db, rule, order, pos + 1, delta, binding, on_match)?;
+                self.join(db, rule, order, pos + 1, delta, binding, interrupt, on_match)?;
             }
             for v in assigned {
                 binding[v.0 as usize] = None;
@@ -1271,6 +1701,7 @@ impl Engine {
         rule: &Rule,
         null_gen: &OidGen,
         nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
+        interrupt: &InterruptState,
     ) -> Result<Vec<(String, Vec<Value>)>> {
         let meta = &self.meta[ri];
         let agg_step = meta.agg_step.expect("exact agg rule");
@@ -1291,7 +1722,7 @@ impl Engine {
         let group_vars = meta.group_vars.clone();
         let pre_steps = &rule.steps[..agg_step];
         let order: Vec<usize> = (0..rule.body.len()).collect();
-        self.join(db, rule, &order, 0, &None, &mut binding, &mut |binding| {
+        self.join(db, rule, &order, 0, &None, &mut binding, interrupt, &mut |binding| {
             let mut assigned: Vec<Var> = Vec::new();
             let mut keep = true;
             for step in pre_steps {
@@ -1744,6 +2175,7 @@ mod tests {
             parse_program("person(X) -> parent(X, Y). parent(X, Y) -> person(Y).").unwrap(),
             EngineConfig {
                 max_facts: 1000,
+                strict: true,
                 ..Default::default()
             },
         )
@@ -1752,6 +2184,20 @@ mod tests {
             .run_with_facts(&[("person", ints(&[&[1]]))])
             .unwrap_err();
         assert!(matches!(err, KgmError::ResourceExhausted(_)));
+        // Graceful mode (the default) keeps the partial database instead.
+        let engine = Engine::with_config(
+            parse_program("person(X) -> parent(X, Y). parent(X, Y) -> person(Y).").unwrap(),
+            EngineConfig {
+                max_facts: 1000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (db, stats) = engine
+            .run_with_facts(&[("person", ints(&[&[1]]))])
+            .unwrap();
+        assert_eq!(stats.termination, Termination::FactCap);
+        assert!(db.total_facts() > 1000, "the crossing batch is kept");
     }
 
     #[test]

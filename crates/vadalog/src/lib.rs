@@ -58,6 +58,7 @@ pub use ast::{
 pub use bindings::{InputBinding, InputSource, OutputBinding, SourceRegistry};
 pub use engine::{
     ChaseProfile, Engine, EngineConfig, FactDb, RuleProfile, RunStats, StratumProfile,
+    Termination,
 };
 pub use parser::parse_program;
 pub use printer::to_source;

@@ -7,16 +7,19 @@
 //!
 //! ```text
 //! run|<strata>|<iterations>|<derived>|<nulls>|<duplicates>|<elapsed_ms>
+//! term|<termination>|<stopped_stratum>|<stopped_iteration>|<cancel_polls>|<faults_injected>
 //! par|<shards_spawned>|<worker_candidates>|<merge_dedup_hits>
 //! stratum|<idx>|<iterations>|<derived>|<duplicates>|<nulls>|<elapsed_ms>
 //! rule|<idx>|<head>|<evals>|<delta_evals>|<bindings>|<emitted>|<elapsed_ms>
 //! ```
 //!
-//! Exactly one `run` line (first) and one `par` line (all zeroes for a
-//! sequential run), then zero or more `stratum` and `rule` lines in any
-//! order. Elapsed times round-trip at microsecond precision (`{:.3}` ms).
+//! Exactly one `run` line (first), one `term` line (the resilience record:
+//! why and where the run stopped — see [`Termination`]) and one `par` line
+//! (all zeroes for a sequential run), then zero or more `stratum` and `rule`
+//! lines in any order. Elapsed times round-trip at microsecond precision
+//! (`{:.3}` ms).
 
-use crate::engine::{ChaseProfile, RuleProfile, RunStats, StratumProfile};
+use crate::engine::{ChaseProfile, RuleProfile, RunStats, StratumProfile, Termination};
 use kgm_common::codec::{escape, unescape, CodecError};
 
 impl RunStats {
@@ -31,6 +34,14 @@ impl RunStats {
             self.nulls_created,
             self.duplicates_rejected,
             self.elapsed_ms,
+        ));
+        out.push_str(&format!(
+            "term|{}|{}|{}|{}|{}\n",
+            self.termination.as_str(),
+            self.stopped_stratum,
+            self.stopped_iteration,
+            self.profile.cancel_polls,
+            self.profile.faults_injected,
         ));
         out.push_str(&format!(
             "par|{}|{}|{}\n",
@@ -105,8 +116,28 @@ impl RunStats {
                         nulls_created: n[3],
                         duplicates_rejected: n[4],
                         elapsed_ms: ms(7)?,
-                        profile: ChaseProfile::default(),
+                        ..RunStats::default()
                     });
+                }
+                "term" => {
+                    if fields.len() != 6 {
+                        return Err(bad(&format!(
+                            "expected 6 fields, got {}",
+                            fields.len()
+                        )));
+                    }
+                    let st = stats
+                        .as_mut()
+                        .ok_or_else(|| bad("term record before run record"))?;
+                    st.termination = Termination::parse(fields[1])
+                        .ok_or_else(|| bad(&format!("bad termination {:?}", fields[1])))?;
+                    let num = |f: &str| -> Result<usize, CodecError> {
+                        f.parse().map_err(|_| bad(&format!("bad number {f:?}")))
+                    };
+                    st.stopped_stratum = num(fields[2])?;
+                    st.stopped_iteration = num(fields[3])?;
+                    profile.cancel_polls = num(fields[4])?;
+                    profile.faults_injected = num(fields[5])?;
                 }
                 "par" => {
                     if fields.len() != 4 {
@@ -175,6 +206,9 @@ mod tests {
             nulls_created: 3,
             duplicates_rejected: 7,
             elapsed_ms: 1.5,
+            termination: Termination::Complete,
+            stopped_stratum: 1,
+            stopped_iteration: 2,
             profile: ChaseProfile {
                 strata: vec![
                     StratumProfile {
@@ -206,6 +240,8 @@ mod tests {
                 shards_spawned: 12,
                 worker_candidates: 90,
                 merge_dedup_hits: 11,
+                cancel_polls: 6,
+                faults_injected: 0,
             },
         }
     }
@@ -221,12 +257,36 @@ mod tests {
     #[test]
     fn format_is_line_oriented_and_pipe_escaped() {
         let text = sample().to_text();
-        assert!(text.starts_with("run|2|5|42|3|7|1.500\npar|12|90|11\n"), "{text}");
-        assert_eq!(text.lines().count(), 5);
+        assert!(
+            text.starts_with(
+                "run|2|5|42|3|7|1.500\nterm|complete|1|2|6|0\npar|12|90|11\n"
+            ),
+            "{text}"
+        );
+        assert_eq!(text.lines().count(), 6);
         assert!(
             text.contains("rule|0|path,odd\\pname|4|3|100|49|0.750"),
             "head with a pipe must be escaped: {text}"
         );
+    }
+
+    #[test]
+    fn truncated_terminations_round_trip() {
+        for t in [
+            Termination::FactCap,
+            Termination::IterationCap,
+            Termination::Deadline,
+            Termination::Cancelled,
+            Termination::MemoryBudget,
+        ] {
+            let mut stats = sample();
+            stats.termination = t;
+            stats.stopped_stratum = 0;
+            stats.stopped_iteration = 3;
+            stats.profile.faults_injected = 2;
+            let parsed = RunStats::from_text(&stats.to_text()).unwrap();
+            assert_eq!(parsed, stats, "{t}");
+        }
     }
 
     #[test]
@@ -272,5 +332,13 @@ mod tests {
         let err = RunStats::from_text("run|1|1|1|1|1|1.0\nstratum|x|1|1|1|1|1.0\n")
             .unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(
+            RunStats::from_text("term|complete|0|0|0|0\n").is_err(),
+            "term before run"
+        );
+        assert!(
+            RunStats::from_text("run|1|1|1|1|1|1.0\nterm|sideways|0|0|0|0\n").is_err(),
+            "unknown termination"
+        );
     }
 }

@@ -41,6 +41,10 @@ fn max_iterations_cap_stops_long_chains() {
     // Paths of length ≤ ~6 exist; the full closure (20100 pairs) does not.
     assert!(db.len("path") < 20_100);
     assert!(db.contains("path", &[Value::Int(0), Value::Int(1)]));
+    // The truncation is reported, with the stop watermark.
+    assert_eq!(stats.termination, kgm_vadalog::Termination::IterationCap);
+    assert_eq!(stats.stopped_stratum, 0);
+    assert_eq!(stats.stopped_iteration, 5);
 }
 
 #[test]
@@ -53,6 +57,7 @@ fn fact_cap_reports_resource_exhaustion() {
         program,
         EngineConfig {
             max_facts: 50,
+            strict: true,
             ..Default::default()
         },
     )
@@ -73,6 +78,7 @@ fn fact_cap_error_names_the_fact_count() {
         program,
         EngineConfig {
             max_facts: 100,
+            strict: true,
             ..Default::default()
         },
     )
@@ -84,6 +90,10 @@ fn fact_cap_error_names_the_fact_count() {
         KgmError::ResourceExhausted(msg) => {
             assert!(msg.contains("fact cap"), "{msg}");
             assert!(msg.contains("facts"), "{msg}");
+            assert!(
+                msg.contains("max_facts 100"),
+                "must name the configured cap: {msg}"
+            );
         }
         other => panic!("expected ResourceExhausted, got {other:?}"),
     }

@@ -59,6 +59,44 @@ if [ "${1:-}" != "--skip-tests" ]; then
     cargo test -q --offline --workspace
 fi
 
+echo "== chaos smoke =="
+# Two resilience probes against the release harness binary (built above).
+# This runs *before* the observability smoke so the clean profiled run
+# below regenerates the BENCH_*.json perf trajectory without the
+# truncated-chase timings these probes produce.
+#
+# 1. A zero deadline must degrade gracefully: exit 0, partial results, and
+#    a `chase.termination.deadline` counter in the run report — never an
+#    abort or a panic.
+# 2. A certain injected fault (`KGM_FAULT=<site>:1.0:<seed>`) must surface
+#    as a structured error on stderr with exit code 1 — never an abort
+#    (which would exit 101/134) or silent success.
+harness=target/release/paper-harness
+chaos_report=target/paper-artifacts/run_report_e7.json
+rm -f "$chaos_report"
+KGM_DEADLINE_MS=0 "$harness" e7 150 --profile >/dev/null
+if ! grep -q '"chase.termination.deadline"' "$chaos_report"; then
+    echo "ERROR: zero-deadline run report lacks chase.termination.deadline" >&2
+    exit 1
+fi
+set +e
+fault_err=$(KGM_FAULT=chase.insert:1.0:7 "$harness" e7 150 2>&1 >/dev/null)
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "ERROR: injected chase.insert fault exited $rc (want 1)" >&2
+    exit 1
+fi
+case "$fault_err" in
+    *"injected fault at chase.insert"*) ;;
+    *)
+        echo "ERROR: fault run stderr lacks the injected-fault message:" >&2
+        echo "$fault_err" | sed 's/^/    /' >&2
+        exit 1
+        ;;
+esac
+echo "ok: deadline degrades gracefully; injected faults fail structurally"
+
 echo "== observability smoke =="
 rm -f BENCH_chase.json BENCH_control_pipeline.json \
     target/paper-artifacts/run_report_e7.json
