@@ -25,5 +25,5 @@ pub mod pattern;
 pub mod stats;
 
 pub use graph::{Direction, EdgeId, NodeId, PropertyGraph};
-pub use pattern::{EdgePattern, NodePattern, TripleMatch};
+pub use pattern::{EdgePattern, NodePattern, PathPattern, TripleMatch};
 pub use stats::{degree_distribution_table, in_degree_histogram, GraphStats};

@@ -112,6 +112,62 @@ impl EdgePattern {
     }
 }
 
+/// A regular path pattern over edge patterns — the Section 4 regular
+/// expressions `ρ | ρ⁻ | R·R | R "|" R | (R)*` evaluated directly on the
+/// graph (MTV compiles the same grammar to Vadalog rules; this is the
+/// in-store evaluator used by pattern `@input` bindings and by tests as an
+/// independent semantics check).
+#[derive(Debug, Clone)]
+pub enum PathPattern {
+    /// A single edge traversal.
+    Edge(EdgePattern),
+    /// Concatenation `R₁ · R₂ · …` (empty sequence = ε).
+    Seq(Vec<PathPattern>),
+    /// Alternation `R₁ | R₂ | …` (empty alternation = ∅).
+    Alt(Vec<PathPattern>),
+    /// Kleene star `(R)*` — reflexive-transitive closure.
+    Star(Box<PathPattern>),
+}
+
+impl PathPattern {
+    /// A single labelled forward edge.
+    pub fn edge(label: impl Into<String>) -> Self {
+        PathPattern::Edge(EdgePattern::label(label))
+    }
+
+    /// Concatenation of `parts`.
+    pub fn seq(parts: impl IntoIterator<Item = PathPattern>) -> Self {
+        PathPattern::Seq(parts.into_iter().collect())
+    }
+
+    /// Alternation of `parts`.
+    pub fn alt(parts: impl IntoIterator<Item = PathPattern>) -> Self {
+        PathPattern::Alt(parts.into_iter().collect())
+    }
+
+    /// Kleene star over `self`.
+    pub fn star(self) -> Self {
+        PathPattern::Star(Box::new(self))
+    }
+
+    /// The inverse pattern `R⁻`, pushed down through the structure:
+    /// `(R·S)⁻ = S⁻·R⁻`, `(R|S)⁻ = R⁻|S⁻`, `(R*)⁻ = (R⁻)*`, and an edge
+    /// flips its traversal direction. `match_pairs(R⁻)` is exactly
+    /// `match_pairs(R)` with every pair reversed (tested).
+    pub fn inverse(self) -> Self {
+        match self {
+            PathPattern::Edge(e) => PathPattern::Edge(e.inverse()),
+            PathPattern::Seq(parts) => {
+                PathPattern::Seq(parts.into_iter().rev().map(PathPattern::inverse).collect())
+            }
+            PathPattern::Alt(parts) => {
+                PathPattern::Alt(parts.into_iter().map(PathPattern::inverse).collect())
+            }
+            PathPattern::Star(inner) => PathPattern::Star(Box::new(inner.inverse())),
+        }
+    }
+}
+
 /// One result row of a triple scan: `(source, edge, target)` where `source`
 /// matched the source pattern *after* direction resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,6 +243,69 @@ impl PropertyGraph {
             }
         }
         out
+    }
+
+    /// All `(src, dst)` node pairs connected by a path matching `pattern`,
+    /// sorted and deduplicated. Evaluation is relation-algebraic: an edge
+    /// pattern scans its triples, `Seq` composes relations, `Alt` unions
+    /// them, and `Star` is the reflexive-transitive closure (reflexive over
+    /// *all* nodes, matching the `x == y` base case MTV emits for `(R)*`).
+    pub fn match_pairs(&self, pattern: &PathPattern) -> Vec<(NodeId, NodeId)> {
+        let mut pairs: Vec<(NodeId, NodeId)> = self.eval_path(pattern).into_iter().collect();
+        pairs.sort();
+        pairs
+    }
+
+    fn eval_path(&self, pattern: &PathPattern) -> std::collections::BTreeSet<(NodeId, NodeId)> {
+        use std::collections::BTreeSet;
+        match pattern {
+            PathPattern::Edge(e) => self
+                .match_triples(&NodePattern::any(), e, &NodePattern::any())
+                .into_iter()
+                .map(|m| (m.src, m.dst))
+                .collect(),
+            PathPattern::Seq(parts) => {
+                // ε: the identity relation over all nodes.
+                let mut acc: BTreeSet<(NodeId, NodeId)> =
+                    self.nodes().map(|n| (n, n)).collect();
+                for p in parts {
+                    let rel = self.eval_path(p);
+                    acc = acc
+                        .iter()
+                        .flat_map(|&(a, b)| {
+                            rel.iter()
+                                .filter(move |&&(c, _)| c == b)
+                                .map(move |&(_, d)| (a, d))
+                        })
+                        .collect();
+                }
+                acc
+            }
+            PathPattern::Alt(parts) => parts
+                .iter()
+                .flat_map(|p| self.eval_path(p))
+                .collect(),
+            PathPattern::Star(inner) => {
+                let step = self.eval_path(inner);
+                let mut acc: BTreeSet<(NodeId, NodeId)> =
+                    self.nodes().map(|n| (n, n)).collect();
+                loop {
+                    let next: Vec<(NodeId, NodeId)> = acc
+                        .iter()
+                        .flat_map(|&(a, b)| {
+                            step.iter()
+                                .filter(move |&&(c, _)| c == b)
+                                .map(move |&(_, d)| (a, d))
+                        })
+                        .filter(|p| !acc.contains(p))
+                        .collect();
+                    if next.is_empty() {
+                        break acc;
+                    }
+                    acc.extend(next);
+                }
+            }
+        }
     }
 }
 
@@ -282,6 +401,98 @@ mod tests {
             &NodePattern::any(),
         );
         assert_eq!(ms.len(), 1);
+    }
+
+    /// Reverse every pair of a relation.
+    fn reversed(mut pairs: Vec<(NodeId, NodeId)>) -> Vec<(NodeId, NodeId)> {
+        for p in &mut pairs {
+            *p = (p.1, p.0);
+        }
+        pairs.sort();
+        pairs
+    }
+
+    #[test]
+    fn star_closes_ownership_chains() {
+        // p -OWNS-> b -OWNS-> c: (OWNS)* is reflexive plus the three
+        // forward reachability pairs.
+        let (g, p, b, c) = sample();
+        let pairs = g.match_pairs(&PathPattern::edge("OWNS").star());
+        for n in [p, b, c] {
+            assert!(pairs.contains(&(n, n)), "missing reflexive pair");
+        }
+        assert!(pairs.contains(&(p, b)));
+        assert!(pairs.contains(&(b, c)));
+        assert!(pairs.contains(&(p, c)), "missing 2-hop closure");
+        assert!(!pairs.contains(&(c, p)));
+    }
+
+    #[test]
+    fn inverse_commutes_with_star() {
+        // ((OWNS)⁻)* must equal ((OWNS)*)⁻ — i.e. the forward closure with
+        // every pair flipped. This is the inverse-under-Kleene-star law the
+        // MTV translation relies on.
+        let (g, ..) = sample();
+        let fwd_star = g.match_pairs(&PathPattern::edge("OWNS").star());
+        let inv_star = g.match_pairs(&PathPattern::edge("OWNS").inverse().star());
+        let star_inv = g.match_pairs(&PathPattern::edge("OWNS").star().inverse());
+        assert_eq!(inv_star, star_inv);
+        assert_eq!(inv_star, reversed(fwd_star));
+    }
+
+    #[test]
+    fn alternation_of_inverses_is_inverse_of_alternation() {
+        // (OWNS⁻ | HAS_ROLE⁻) = (OWNS | HAS_ROLE)⁻: both must equal the
+        // union of the reversed base relations.
+        let (g, ..) = sample();
+        let fwd = g.match_pairs(&PathPattern::alt([
+            PathPattern::edge("OWNS"),
+            PathPattern::edge("HAS_ROLE"),
+        ]));
+        let alt_of_inv = g.match_pairs(&PathPattern::alt([
+            PathPattern::edge("OWNS").inverse(),
+            PathPattern::edge("HAS_ROLE").inverse(),
+        ]));
+        let inv_of_alt = g.match_pairs(
+            &PathPattern::alt([PathPattern::edge("OWNS"), PathPattern::edge("HAS_ROLE")])
+                .inverse(),
+        );
+        assert_eq!(alt_of_inv, inv_of_alt);
+        assert_eq!(alt_of_inv, reversed(fwd));
+        assert_eq!(alt_of_inv.len(), 3);
+    }
+
+    #[test]
+    fn star_over_alternation_reaches_both_directions() {
+        // (OWNS | OWNS⁻)* connects every node of the ownership chain to
+        // every other, in both directions.
+        let (g, p, b, c) = sample();
+        let pairs = g.match_pairs(
+            &PathPattern::alt([
+                PathPattern::edge("OWNS"),
+                PathPattern::edge("OWNS").inverse(),
+            ])
+            .star(),
+        );
+        for x in [p, b, c] {
+            for y in [p, b, c] {
+                assert!(pairs.contains(&(x, y)), "missing ({x:?}, {y:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn seq_composes_and_inverse_reverses_seq() {
+        // OWNS · OWNS is exactly the 2-hop pair; its inverse walks the
+        // chain backwards (inverse reverses the concatenation order).
+        let (g, p, _, c) = sample();
+        let two_hop = PathPattern::seq([PathPattern::edge("OWNS"), PathPattern::edge("OWNS")]);
+        assert_eq!(g.match_pairs(&two_hop), vec![(p, c)]);
+        assert_eq!(g.match_pairs(&two_hop.clone().inverse()), vec![(c, p)]);
+        // ε (the empty sequence) is the identity relation.
+        let eps = g.match_pairs(&PathPattern::seq([]));
+        assert_eq!(eps.len(), 3);
+        assert!(eps.iter().all(|&(a, b)| a == b));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! | [`sync`]  | `parking_lot` | non-poisoning `Mutex` / `RwLock` over `std::sync` |
 //! | [`par`]   | `crossbeam`   | scope-based parallel map (`std::thread::scope`) |
 //! | [`prop`]  | `proptest`    | seeded property tests with shrinking, `prop_assert!` |
+//! | [`snapshot`] | `insta` | golden-file assertions with a `KGM_BLESS=1` bless workflow |
 //! | [`bench`] | `criterion`   | warmup/calibrated micro-benchmarks with JSON reports |
 //! | [`telemetry`] | `tracing` + `metrics` | hierarchical spans, counters/gauges/histograms, console + JSONL sinks |
 //! | [`json`]  | `serde_json` (validation only) | JSON/JSONL well-formedness checks for emitted artefacts |
@@ -28,6 +29,7 @@ pub mod json;
 pub mod par;
 pub mod prop;
 pub mod rng;
+pub mod snapshot;
 pub mod sync;
 pub mod telemetry;
 

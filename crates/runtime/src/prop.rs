@@ -135,6 +135,11 @@ where
         let Some(message) = failure else { continue };
 
         // Greedy shrink: repeatedly move to the first failing candidate.
+        // Keep the original (pre-shrink) input around: the minimized case is
+        // what a human debugs, but the original is what the seed reproduces,
+        // so the report must carry both to be copy-pasteable from CI logs.
+        let original = format!("{input:?}");
+        let original_msg = message.clone();
         let mut minimal = input;
         let mut minimal_msg = message;
         let mut steps = 0usize;
@@ -152,13 +157,23 @@ where
             }
             break; // no candidate fails: local minimum reached
         }
+        let minimal = format!("{minimal:?}");
+        let original_part = if minimal == original && minimal_msg == original_msg {
+            String::new() // shrinking made no progress: one report is enough
+        } else {
+            format!("original input (seed {case_seed:#x}): {original}\n{original_msg}\n")
+        };
         panic!(
             "[prop] {name}: case {case}/{} FAILED\n\
              seed: {} (case seed {case_seed:#x}, {steps} shrink steps)\n\
-             minimal input: {minimal:?}\n\
+             minimal input: {minimal}\n\
              {minimal_msg}\n\
-             reproduce with: KGM_PROP_SEED={} cargo test",
-            config.cases, config.seed, config.seed
+             {original_part}\
+             reproduce with: KGM_PROP_SEED={} KGM_PROP_CASES={} cargo test",
+            config.cases,
+            config.seed,
+            config.seed,
+            case + 1
         );
     }
 }
@@ -319,6 +334,12 @@ mod tests {
         let msg = format!("{}", panic_message(&err));
         assert!(msg.contains("FAILED"), "{msg}");
         assert!(msg.contains("KGM_PROP_SEED="), "{msg}");
+        // The repro line pins the failing case index via KGM_PROP_CASES so
+        // the whole line can be copy-pasted from a CI log.
+        assert!(msg.contains("KGM_PROP_CASES="), "{msg}");
+        // When shrinking changed the input, the original case and its seed
+        // are reported alongside the minimized one.
+        assert!(msg.contains("original input (seed 0x"), "{msg}");
         // Shrinking must land on the minimal counterexample length (3).
         assert!(msg.contains("minimal input"), "{msg}");
         let after = msg.split("minimal input: ").nth(1).unwrap();

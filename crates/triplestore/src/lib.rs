@@ -11,5 +11,5 @@
 pub mod rdfs;
 pub mod store;
 
-pub use rdfs::{RdfsProperty, RdfsVocabulary};
+pub use rdfs::{infer, RdfsProperty, RdfsVocabulary};
 pub use store::{Term, Triple, TripleStore};

@@ -47,6 +47,8 @@ pub mod ast;
 pub mod bindings;
 pub mod engine;
 pub mod eval;
+pub mod genprog;
+pub mod oracle;
 pub mod parser;
 pub mod printer;
 pub mod stats;
@@ -60,5 +62,7 @@ pub use engine::{
     ChaseProfile, Engine, EngineConfig, FactDb, RuleProfile, RunStats, StratumProfile,
     Termination,
 };
+pub use genprog::{GenCase, GenConfig};
+pub use oracle::{canonical_diff, canonical_facts, isomorphic, naive_chase, OracleConfig};
 pub use parser::parse_program;
 pub use printer::to_source;

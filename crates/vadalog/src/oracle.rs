@@ -1,0 +1,930 @@
+//! Naive-chase reference interpreter and labelled-null isomorphism.
+//!
+//! The optimized engine in [`crate::engine`] earns its speed from deltas,
+//! hash-join indexes, sharded parallel evaluation, and per-stratum
+//! bookkeeping — all of which are exactly the places where a subtle bug
+//! could silently change the *answers*, not just the timings. This module
+//! is the independent definition of correctness those optimizations are
+//! differentially tested against:
+//!
+//! - [`naive_chase`] evaluates a program the slowest obviously-correct
+//!   way: per stratum, re-enumerate **every** rule over **all** facts with
+//!   nested loops in written atom order (no indexes, no deltas, no join
+//!   reordering) and insert to fixpoint. It reuses only the leaf semantics
+//!   the engine and the oracle must share by definition — expression
+//!   evaluation ([`crate::eval`]), Skolem-chase null reuse keyed by
+//!   `(rule, variable, frontier)`, and the aggregate combine tables —
+//!   while re-implementing all control flow from scratch.
+//! - [`canonical_facts`] renders a database into a canonical text form in
+//!   which labelled nulls and Skolem OIDs are renumbered by a greedy
+//!   canonical labelling, so two chase runs can be compared for
+//!   *isomorphism* (set equality modulo a bijective renaming of invented
+//!   values) rather than payload-exact equality — null payloads depend on
+//!   mint order, which is an implementation detail.
+//!
+//! Equal canonical forms always mean genuinely isomorphic databases (the
+//! canonical text determines the structure up to renaming). The greedy
+//! labelling is a refinement heuristic, so in pathologically symmetric
+//! databases two isomorphic runs could in principle canonicalize
+//! differently — a false *alarm*, never a false *pass* — but the chase
+//! distinguishes every null by its ground frontier context, so this does
+//! not arise for chase outputs.
+
+use crate::analysis::{AggMode, ProgramAnalysis};
+use crate::ast::{Aggregate, AggregateFunc, BinOp, Program, Rule, RuleStep, Term, Var};
+use crate::engine::FactDb;
+use crate::eval::{bin, eval, EvalCtx};
+use kgm_common::{
+    FxHashMap, KgmError, Oid, OidGen, OidSpace, Result, SkolemRegistry, Value,
+};
+
+/// Safety caps for the oracle. The naive chase has no governor, deadline,
+/// or cancellation — these two limits exist only so a buggy generated
+/// program fails a test instead of hanging it.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Maximum fixpoint passes per stratum.
+    pub max_iterations: usize,
+    /// Maximum total facts in the database.
+    pub max_facts: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            max_iterations: 10_000,
+            max_facts: 1_000_000,
+        }
+    }
+}
+
+/// Monotonic-aggregate accumulator: one per `(rule, group)`, holding the
+/// idempotent contributor set and the current running value. Mirrors the
+/// engine's semantics (first contribution per key wins; re-contributions
+/// are no-ops).
+struct MonoState {
+    contributors: FxHashMap<Vec<Value>, Value>,
+    current: Value,
+}
+
+fn initial_value(func: AggregateFunc) -> Value {
+    match func {
+        AggregateFunc::Sum | AggregateFunc::MSum | AggregateFunc::Avg => Value::Int(0),
+        AggregateFunc::Count | AggregateFunc::MCount => Value::Int(0),
+        AggregateFunc::Prod | AggregateFunc::MProd => Value::Int(1),
+        AggregateFunc::Min | AggregateFunc::MMin => Value::Float(f64::MAX),
+        AggregateFunc::Max | AggregateFunc::MMax => Value::Float(f64::MIN),
+    }
+}
+
+fn combine(func: AggregateFunc, acc: &Value, v: &Value) -> Result<Value> {
+    match func {
+        AggregateFunc::Sum | AggregateFunc::MSum | AggregateFunc::Avg => bin(BinOp::Add, acc, v),
+        AggregateFunc::Count | AggregateFunc::MCount => bin(BinOp::Add, acc, &Value::Int(1)),
+        AggregateFunc::Prod | AggregateFunc::MProd => bin(BinOp::Mul, acc, v),
+        AggregateFunc::Min | AggregateFunc::MMin => Ok(if v.total_cmp(acc).is_lt() {
+            v.clone()
+        } else {
+            acc.clone()
+        }),
+        AggregateFunc::Max | AggregateFunc::MMax => Ok(if v.total_cmp(acc).is_gt() {
+            v.clone()
+        } else {
+            acc.clone()
+        }),
+    }
+}
+
+/// Per-rule facts the oracle needs, computed once up front.
+struct OracleMeta {
+    stratum: usize,
+    group_vars: Vec<Var>,
+    existentials: Vec<Var>,
+    frontier: Vec<Var>,
+    agg_step: Option<usize>,
+    agg_mode: Option<AggMode>,
+}
+
+/// Run the naive chase over `program` with default safety caps.
+pub fn naive_chase(program: &Program) -> Result<FactDb> {
+    naive_chase_with(program, &[], &OracleConfig::default())
+}
+
+/// Run the naive chase: `inputs` are loaded first (mirroring
+/// `Engine::run_with_facts`), then the program's own facts, then every
+/// stratum runs exact-aggregate rules once followed by an
+/// everything-every-pass fixpoint over the remaining rules.
+pub fn naive_chase_with(
+    program: &Program,
+    inputs: &[(&str, Vec<Vec<Value>>)],
+    config: &OracleConfig,
+) -> Result<FactDb> {
+    let analysis = ProgramAnalysis::analyze(program)?;
+    let mut db = FactDb::new();
+    for (pred, tuples) in inputs {
+        db.add_facts(pred, tuples.clone())?;
+    }
+    for f in &program.facts {
+        let tuple: Vec<Value> = f
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => v.clone(),
+                Term::Var(_) => unreachable!("facts are ground"),
+            })
+            .collect();
+        db.insert(&f.predicate, tuple)?;
+    }
+
+    let meta: Vec<OracleMeta> = program
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(ri, rule)| {
+            let stratum = rule
+                .head
+                .iter()
+                .map(|h| analysis.stratification.of(&h.predicate))
+                .max()
+                .unwrap_or(0);
+            let mut group_vars: Vec<Var> = Vec::new();
+            if let Some(agg) = rule.aggregate() {
+                let bound: std::collections::HashSet<Var> =
+                    rule.bound_vars().into_iter().collect();
+                group_vars = rule.head[0]
+                    .vars()
+                    .filter(|v| *v != agg.target && bound.contains(v))
+                    .collect();
+                group_vars.sort_unstable();
+                group_vars.dedup();
+            }
+            OracleMeta {
+                stratum,
+                group_vars,
+                existentials: rule.existential_vars(),
+                frontier: rule.frontier(),
+                agg_step: rule
+                    .steps
+                    .iter()
+                    .position(|s| matches!(s, RuleStep::Aggregate(_))),
+                agg_mode: analysis.agg_modes.get(&ri).copied(),
+            }
+        })
+        .collect();
+
+    let skolems = SkolemRegistry::new();
+    let null_gen = OidGen::new(OidSpace::Null);
+    let mut nulls: FxHashMap<(usize, Var, Vec<Value>), Oid> = FxHashMap::default();
+    let mut mono: FxHashMap<(usize, Vec<Value>), MonoState> = FxHashMap::default();
+
+    for s in 0..analysis.stratification.count {
+        // 1. Exact-aggregate rules: their bodies live strictly below this
+        //    stratum, so the relations are complete — evaluate each once.
+        for (ri, rule) in program.rules.iter().enumerate() {
+            if meta[ri].stratum != s || meta[ri].agg_mode != Some(AggMode::Exact) {
+                continue;
+            }
+            let out =
+                eval_exact_rule(&db, ri, rule, &meta[ri], &skolems, &null_gen, &mut nulls)?;
+            for (pred, tuple) in out {
+                db.insert(&pred, tuple)?;
+            }
+        }
+        // 2. All remaining rules of the stratum, every rule over all facts,
+        //    to fixpoint. Head batches insert after a full pass, so every
+        //    rule in a pass sees the same frozen database (negation
+        //    included) — the same per-iteration snapshot the engine uses.
+        let rules: Vec<usize> = (0..program.rules.len())
+            .filter(|&ri| meta[ri].stratum == s && meta[ri].agg_mode != Some(AggMode::Exact))
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        let mut iterations = 0usize;
+        loop {
+            if iterations >= config.max_iterations {
+                return Err(KgmError::ResourceExhausted(format!(
+                    "oracle: stratum {s} exceeded {} naive passes",
+                    config.max_iterations
+                )));
+            }
+            iterations += 1;
+            let mut out: Vec<(String, Vec<Value>)> = Vec::new();
+            for &ri in &rules {
+                let rule = &program.rules[ri];
+                let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+                enumerate(&db, rule, 0, &mut binding, &mut |binding| {
+                    fire(
+                        &db, ri, rule, &meta[ri], binding, &skolems, &null_gen, &mut nulls,
+                        &mut mono, &mut out,
+                    )
+                })?;
+            }
+            let mut inserted = 0usize;
+            for (pred, tuple) in out {
+                if db.insert(&pred, tuple)? {
+                    inserted += 1;
+                }
+            }
+            if db.total_facts() > config.max_facts {
+                return Err(KgmError::ResourceExhausted(format!(
+                    "oracle: {} facts exceed the cap of {}",
+                    db.total_facts(),
+                    config.max_facts
+                )));
+            }
+            if inserted == 0 {
+                break;
+            }
+        }
+    }
+    Ok(db)
+}
+
+/// Nested-loop enumeration of every complete match of `rule.body`, in
+/// written atom order, with no indexes: for each tuple of atom `ai` that
+/// is consistent with the binding so far, recurse into atom `ai + 1`.
+fn enumerate(
+    db: &FactDb,
+    rule: &Rule,
+    ai: usize,
+    binding: &mut Vec<Option<Value>>,
+    on_match: &mut dyn FnMut(&mut Vec<Option<Value>>) -> Result<()>,
+) -> Result<()> {
+    if ai == rule.body.len() {
+        return on_match(binding);
+    }
+    let atom = &rule.body[ai];
+    // Snapshot the relation: `on_match` only reads `db`, but taking owned
+    // tuples keeps the recursion free of aliasing gymnastics — the oracle
+    // optimizes for obviousness, not allocation counts.
+    for tuple in db.facts(&atom.predicate) {
+        if tuple.len() != atom.terms.len() {
+            return Err(KgmError::Schema(format!(
+                "oracle: atom {}/{} joined against arity-{} relation",
+                atom.predicate,
+                atom.terms.len(),
+                tuple.len()
+            )));
+        }
+        let mut newly_bound: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (t, v) in atom.terms.iter().zip(tuple.iter()) {
+            match t {
+                Term::Const(c) => {
+                    if c != v {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(x) => match &binding[x.0 as usize] {
+                    Some(b) => {
+                        if b != v {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        binding[x.0 as usize] = Some(v.clone());
+                        newly_bound.push(*x);
+                    }
+                },
+            }
+        }
+        if ok {
+            enumerate(db, rule, ai + 1, binding, on_match)?;
+        }
+        for x in newly_bound {
+            binding[x.0 as usize] = None;
+        }
+    }
+    Ok(())
+}
+
+/// Run one matched binding through the rule's steps and, if it survives,
+/// emit the heads. Mirrors the engine's step semantics exactly: conditions
+/// must evaluate to a boolean, assignments bind, negation checks the
+/// frozen database, and a monotonic aggregate contributes idempotently and
+/// only emits when its running value moves.
+#[allow(clippy::too_many_arguments)]
+fn fire(
+    db: &FactDb,
+    ri: usize,
+    rule: &Rule,
+    meta: &OracleMeta,
+    binding: &mut Vec<Option<Value>>,
+    skolems: &SkolemRegistry,
+    null_gen: &OidGen,
+    nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
+    mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
+    out: &mut Vec<(String, Vec<Value>)>,
+) -> Result<()> {
+    let ctx = EvalCtx { skolems };
+    let mut assigned: Vec<Var> = Vec::new();
+    let mut emit = true;
+    for step in &rule.steps {
+        match step {
+            RuleStep::Condition(e) => match eval(e, binding, &ctx) {
+                Ok(Value::Bool(true)) => {}
+                Ok(Value::Bool(false)) => {
+                    emit = false;
+                    break;
+                }
+                Ok(other) => {
+                    undo(binding, &assigned);
+                    return Err(KgmError::Type(format!(
+                        "condition evaluated to non-bool {other:?}"
+                    )));
+                }
+                Err(e) => {
+                    undo(binding, &assigned);
+                    return Err(e);
+                }
+            },
+            RuleStep::Assign(v, e) => match eval(e, binding, &ctx) {
+                Ok(val) => {
+                    binding[v.0 as usize] = Some(val);
+                    assigned.push(*v);
+                }
+                Err(e) => {
+                    undo(binding, &assigned);
+                    return Err(e);
+                }
+            },
+            RuleStep::Negated(a) => {
+                let tuple: Vec<Value> = a
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(v) => v.clone(),
+                        Term::Var(v) => {
+                            binding[v.0 as usize].clone().expect("safety-checked bound")
+                        }
+                    })
+                    .collect();
+                if db.contains(&a.predicate, &tuple) {
+                    emit = false;
+                    break;
+                }
+            }
+            RuleStep::Aggregate(agg) => {
+                let func = match meta.agg_mode {
+                    Some(AggMode::Monotonic(f)) => f,
+                    _ => {
+                        undo(binding, &assigned);
+                        return Err(KgmError::Internal(
+                            "oracle: exact aggregate in fixpoint path".to_string(),
+                        ));
+                    }
+                };
+                match contribute(agg, func, ri, meta, binding, mono, &ctx) {
+                    Ok(Some(updated)) => {
+                        binding[agg.target.0 as usize] = Some(updated);
+                        assigned.push(agg.target);
+                    }
+                    Ok(None) => {
+                        emit = false;
+                        break;
+                    }
+                    Err(e) => {
+                        undo(binding, &assigned);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+    if emit {
+        emit_heads(ri, rule, meta, binding, null_gen, nulls, out);
+    }
+    undo(binding, &assigned);
+    Ok(())
+}
+
+fn undo(binding: &mut [Option<Value>], assigned: &[Var]) {
+    for v in assigned {
+        binding[v.0 as usize] = None;
+    }
+}
+
+/// Register one monotonic contribution. Returns the new running value when
+/// it moved (the match should continue and emit), `None` when the
+/// contribution was idempotent or did not change the aggregate.
+fn contribute(
+    agg: &Aggregate,
+    func: AggregateFunc,
+    ri: usize,
+    meta: &OracleMeta,
+    binding: &[Option<Value>],
+    mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
+    ctx: &EvalCtx,
+) -> Result<Option<Value>> {
+    let group: Vec<Value> = meta
+        .group_vars
+        .iter()
+        .map(|v| binding[v.0 as usize].clone().expect("bound"))
+        .collect();
+    let contrib_key: Vec<Value> = agg
+        .contributors
+        .iter()
+        .map(|v| binding[v.0 as usize].clone().expect("bound"))
+        .collect();
+    let val = match &agg.arg {
+        Some(e) => eval(e, binding, ctx)?,
+        None => Value::Int(1),
+    };
+    let state = mono.entry((ri, group)).or_insert_with(|| MonoState {
+        contributors: FxHashMap::default(),
+        current: initial_value(func),
+    });
+    if state.contributors.contains_key(&contrib_key) {
+        return Ok(None);
+    }
+    let updated = combine(func, &state.current, &val)?;
+    let changed = updated != state.current;
+    state.contributors.insert(contrib_key, val);
+    state.current = updated.clone();
+    Ok(if changed { Some(updated) } else { None })
+}
+
+/// Mint (or reuse) the rule's labelled nulls keyed by the frontier values
+/// and push one tuple per head atom — the Skolem chase.
+fn emit_heads(
+    ri: usize,
+    rule: &Rule,
+    meta: &OracleMeta,
+    binding: &[Option<Value>],
+    null_gen: &OidGen,
+    nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
+    out: &mut Vec<(String, Vec<Value>)>,
+) {
+    let mut null_values: FxHashMap<Var, Value> = FxHashMap::default();
+    if !meta.existentials.is_empty() {
+        let frontier: Vec<Value> = meta
+            .frontier
+            .iter()
+            .map(|v| binding[v.0 as usize].clone().expect("frontier bound"))
+            .collect();
+        for &v in &meta.existentials {
+            let oid = *nulls
+                .entry((ri, v, frontier.clone()))
+                .or_insert_with(|| null_gen.fresh());
+            null_values.insert(v, Value::Oid(oid));
+        }
+    }
+    for h in &rule.head {
+        let tuple: Vec<Value> = h
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => v.clone(),
+                Term::Var(v) => binding[v.0 as usize]
+                    .clone()
+                    .unwrap_or_else(|| null_values[v].clone()),
+            })
+            .collect();
+        out.push((h.predicate.clone(), tuple));
+    }
+}
+
+/// Evaluate one exact-aggregate rule: enumerate all body matches, run
+/// pre-aggregate steps inline, group contributions (first value per
+/// contributor key wins, insertion order preserved), fold each group, then
+/// run post-aggregate steps and emit heads once per group.
+fn eval_exact_rule(
+    db: &FactDb,
+    ri: usize,
+    rule: &Rule,
+    meta: &OracleMeta,
+    skolems: &SkolemRegistry,
+    null_gen: &OidGen,
+    nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
+) -> Result<Vec<(String, Vec<Value>)>> {
+    let agg_step = meta.agg_step.expect("exact agg rule");
+    let agg = rule.aggregate().expect("exact agg rule").clone();
+    let ctx = EvalCtx { skolems };
+
+    struct Group {
+        contributors: FxHashMap<Vec<Value>, Value>,
+        order: Vec<Vec<Value>>,
+    }
+    // Group keys in first-seen order so pass 2 is deterministic.
+    let mut groups: FxHashMap<Vec<Value>, Group> = FxHashMap::default();
+    let mut group_order: Vec<Vec<Value>> = Vec::new();
+    let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+    let pre_steps = &rule.steps[..agg_step];
+    enumerate(db, rule, 0, &mut binding, &mut |binding| {
+        let mut assigned: Vec<Var> = Vec::new();
+        let mut keep = true;
+        for step in pre_steps {
+            match step {
+                RuleStep::Condition(e) => match eval(e, binding, &ctx) {
+                    Ok(Value::Bool(true)) => {}
+                    Ok(Value::Bool(false)) => {
+                        keep = false;
+                        break;
+                    }
+                    Ok(other) => {
+                        undo(binding, &assigned);
+                        return Err(KgmError::Type(format!(
+                            "condition evaluated to non-bool {other:?}"
+                        )));
+                    }
+                    Err(e) => {
+                        undo(binding, &assigned);
+                        return Err(e);
+                    }
+                },
+                RuleStep::Assign(v, e) => match eval(e, binding, &ctx) {
+                    Ok(val) => {
+                        binding[v.0 as usize] = Some(val);
+                        assigned.push(*v);
+                    }
+                    Err(e) => {
+                        undo(binding, &assigned);
+                        return Err(e);
+                    }
+                },
+                RuleStep::Negated(a) => {
+                    let tuple: Vec<Value> = a
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(v) => v.clone(),
+                            Term::Var(v) => binding[v.0 as usize].clone().expect("bound"),
+                        })
+                        .collect();
+                    if db.contains(&a.predicate, &tuple) {
+                        keep = false;
+                        break;
+                    }
+                }
+                RuleStep::Aggregate(_) => unreachable!("pre-aggregate steps only"),
+            }
+        }
+        if keep {
+            let gk: Vec<Value> = meta
+                .group_vars
+                .iter()
+                .map(|v| binding[v.0 as usize].clone().expect("bound"))
+                .collect();
+            // Contributor key: the ⟨z̄⟩ variables if given, otherwise the
+            // full binding (every distinct match contributes once).
+            let ck: Vec<Value> = if agg.contributors.is_empty() {
+                binding.iter().flatten().cloned().collect()
+            } else {
+                agg.contributors
+                    .iter()
+                    .map(|v| binding[v.0 as usize].clone().expect("bound"))
+                    .collect()
+            };
+            let val = match &agg.arg {
+                Some(e) => eval(e, binding, &ctx),
+                None => Ok(Value::Int(1)),
+            };
+            let val = match val {
+                Ok(v) => v,
+                Err(e) => {
+                    undo(binding, &assigned);
+                    return Err(e);
+                }
+            };
+            if !groups.contains_key(&gk) {
+                group_order.push(gk.clone());
+            }
+            let g = groups.entry(gk).or_insert_with(|| Group {
+                contributors: FxHashMap::default(),
+                order: Vec::new(),
+            });
+            if !g.contributors.contains_key(&ck) {
+                g.contributors.insert(ck.clone(), val);
+                g.order.push(ck);
+            }
+        }
+        undo(binding, &assigned);
+        Ok(())
+    })?;
+
+    let mut out = Vec::new();
+    for gk in group_order {
+        let group = &groups[&gk];
+        let mut acc = initial_value(agg.func);
+        let mut n = 0usize;
+        for ck in &group.order {
+            acc = combine(agg.func, &acc, &group.contributors[ck])?;
+            n += 1;
+        }
+        if agg.func == AggregateFunc::Avg && n > 0 {
+            acc = bin(BinOp::Div, &acc, &Value::Int(n as i64))?;
+        }
+        let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+        for (v, val) in meta.group_vars.iter().zip(gk.iter()) {
+            binding[v.0 as usize] = Some(val.clone());
+        }
+        binding[agg.target.0 as usize] = Some(acc);
+        let mut keep = true;
+        for step in &rule.steps[agg_step + 1..] {
+            match step {
+                RuleStep::Condition(e) => match eval(e, &binding, &ctx)? {
+                    Value::Bool(true) => {}
+                    Value::Bool(false) => {
+                        keep = false;
+                        break;
+                    }
+                    other => {
+                        return Err(KgmError::Type(format!(
+                            "condition evaluated to non-bool {other:?}"
+                        )))
+                    }
+                },
+                RuleStep::Assign(v, e) => {
+                    let val = eval(e, &binding, &ctx)?;
+                    binding[v.0 as usize] = Some(val);
+                }
+                RuleStep::Negated(a) => {
+                    let tuple: Vec<Value> = a
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(v) => v.clone(),
+                            Term::Var(v) => binding[v.0 as usize].clone().expect("bound"),
+                        })
+                        .collect();
+                    if db.contains(&a.predicate, &tuple) {
+                        keep = false;
+                        break;
+                    }
+                }
+                RuleStep::Aggregate(_) => unreachable!("single aggregate"),
+            }
+        }
+        if keep {
+            emit_heads(ri, rule, meta, &binding, null_gen, nulls, &mut out);
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Canonical labelled-null isomorphism
+// ---------------------------------------------------------------------------
+
+/// One term of a fact under canonicalization, ordered so that ground
+/// values sort before already-canonicalized invented values, which sort
+/// before not-yet-assigned ones (compared by their first-occurrence
+/// pattern *within* the fact — `p(ν1, ν1)` and `p(ν2, ν3)` get different
+/// keys regardless of payloads).
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+enum CanonKey {
+    Ground(String),
+    Assigned(u8, usize),
+    Local(u8, usize),
+}
+
+fn space_rank(space: OidSpace) -> u8 {
+    match space {
+        OidSpace::Ground => 0,
+        OidSpace::Null => 1,
+        OidSpace::Skolem => 2,
+    }
+}
+
+fn is_invented(v: &Value) -> Option<(Oid, u8)> {
+    match v {
+        Value::Oid(o) if o.space() != OidSpace::Ground => Some((*o, space_rank(o.space()))),
+        _ => None,
+    }
+}
+
+fn ground_key(v: &Value) -> String {
+    // `to_text` is type-tagged (`I:3` vs `S:3`), so distinct values never
+    // collide and the ordering is deterministic.
+    v.to_text()
+}
+
+fn fact_key(
+    pred: &str,
+    tuple: &[Value],
+    assigned: &FxHashMap<Oid, usize>,
+) -> (String, Vec<CanonKey>) {
+    let mut local: FxHashMap<Oid, usize> = FxHashMap::default();
+    let keys = tuple
+        .iter()
+        .map(|v| match is_invented(v) {
+            Some((oid, rank)) => match assigned.get(&oid) {
+                Some(&id) => CanonKey::Assigned(rank, id),
+                None => {
+                    let next = local.len();
+                    CanonKey::Local(rank, *local.entry(oid).or_insert(next))
+                }
+            },
+            None => CanonKey::Ground(ground_key(v)),
+        })
+        .collect();
+    (pred.to_string(), keys)
+}
+
+/// Render a database as sorted canonical fact lines: ground values print
+/// their type-tagged text, labelled nulls print as `ν<i>` and Skolem
+/// values as `σ<i>` where `<i>` is the canonical id chosen by the greedy
+/// labelling (not the mint-order payload).
+pub fn canonical_facts(db: &FactDb) -> Vec<String> {
+    let mut facts: Vec<(String, Vec<Value>)> = Vec::new();
+    for pred in db.predicates() {
+        for tuple in db.facts_iter(&pred) {
+            facts.push((pred.clone(), tuple.to_vec()));
+        }
+    }
+    let mut assigned: FxHashMap<Oid, usize> = FxHashMap::default();
+    let mut next: [usize; 3] = [0; 3];
+    let mut lines: Vec<String> = Vec::with_capacity(facts.len());
+    while !facts.is_empty() {
+        // Greedy canonical labelling: repeatedly pick the minimal fact
+        // under the renaming-invariant key, then assign canonical ids to
+        // its unassigned invented values left to right.
+        let (idx, _) = facts
+            .iter()
+            .enumerate()
+            .map(|(i, (p, t))| (i, fact_key(p, t, &assigned)))
+            .min_by(|a, b| a.1.cmp(&b.1))
+            .expect("nonempty");
+        let (pred, tuple) = facts.swap_remove(idx);
+        let rendered: Vec<String> = tuple
+            .iter()
+            .map(|v| match is_invented(v) {
+                Some((oid, rank)) => {
+                    let id = *assigned.entry(oid).or_insert_with(|| {
+                        let id = next[rank as usize];
+                        next[rank as usize] += 1;
+                        id
+                    });
+                    let sigil = if rank == 1 { "ν" } else { "σ" };
+                    format!("{sigil}{id}")
+                }
+                None => ground_key(v),
+            })
+            .collect();
+        lines.push(format!("{pred}({})", rendered.join(", ")));
+    }
+    lines.sort();
+    lines
+}
+
+/// True when the two databases hold the same facts modulo a bijective
+/// renaming of labelled nulls (and Skolem values).
+pub fn isomorphic(a: &FactDb, b: &FactDb) -> bool {
+    canonical_facts(a) == canonical_facts(b)
+}
+
+/// `None` when isomorphic; otherwise a report of the canonical fact lines
+/// present on only one side (`-` = only in `a`, `+` = only in `b`).
+pub fn canonical_diff(a: &FactDb, b: &FactDb) -> Option<String> {
+    let ca = canonical_facts(a);
+    let cb = canonical_facts(b);
+    if ca == cb {
+        return None;
+    }
+    let sa: std::collections::BTreeSet<&String> = ca.iter().collect();
+    let sb: std::collections::BTreeSet<&String> = cb.iter().collect();
+    let mut report = String::new();
+    for line in sa.difference(&sb) {
+        report.push_str(&format!("- {line}\n"));
+    }
+    for line in sb.difference(&sa) {
+        report.push_str(&format!("+ {line}\n"));
+    }
+    if report.is_empty() {
+        // Same line *sets* but different multiplicity cannot happen (facts
+        // are sets); differing orderings of equal sets cannot reach here.
+        report.push_str("(canonical forms differ only in ordering)\n");
+    }
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::parser::parse_program;
+
+    fn oracle_vs_engine(src: &str) {
+        let program = parse_program(src).unwrap();
+        let oracle_db = naive_chase(&program).unwrap();
+        let engine = Engine::new(parse_program(src).unwrap()).unwrap();
+        let mut engine_db = FactDb::new();
+        engine.run(&mut engine_db).unwrap();
+        if let Some(diff) = canonical_diff(&oracle_db, &engine_db) {
+            panic!("oracle and engine disagree on:\n{src}\n{diff}");
+        }
+    }
+
+    #[test]
+    fn transitive_closure_matches_engine() {
+        oracle_vs_engine(
+            "e(1,2). e(2,3). e(3,4). e(2,1).\n\
+             e(X,Y) -> t(X,Y).\n\
+             t(X,Y), e(Y,Z) -> t(X,Z).",
+        );
+    }
+
+    #[test]
+    fn existential_nulls_match_engine_modulo_renaming() {
+        oracle_vs_engine(
+            "p(1). p(2).\n\
+             p(X) -> q(X,N).\n\
+             q(X,N) -> r(N).",
+        );
+    }
+
+    #[test]
+    fn skolem_functors_match_engine() {
+        oracle_vs_engine(
+            "p(1). p(2).\n\
+             p(X), K = skolem(\"sk\", X) -> h(X,K).\n\
+             h(X,K) -> g(K).",
+        );
+    }
+
+    #[test]
+    fn exact_aggregates_match_engine() {
+        oracle_vs_engine(
+            "s(1,10). s(1,20). s(2,5).\n\
+             s(X,W), V = sum(W) -> total(X,V).",
+        );
+    }
+
+    #[test]
+    fn negation_and_conditions_match_engine() {
+        oracle_vs_engine(
+            "e(1,2). e(2,3). blocked(2,3).\n\
+             e(X,Y), X < Y, not blocked(X,Y) -> ok(X,Y).",
+        );
+    }
+
+    #[test]
+    fn company_control_matches_engine() {
+        oracle_vs_engine(
+            "own(1,2,0.6). own(2,3,0.6). own(1,3,0.2).\n\
+             own(X,Y,W) -> control(X,X).\n\
+             control(X,Z), own(Z,Y,W), V = msum(W, <Z>), V > 0.5 -> control(X,Y).",
+        );
+    }
+
+    #[test]
+    fn isomorphism_ignores_null_payloads() {
+        let mut a = FactDb::new();
+        let mut b = FactDb::new();
+        let n = |p: u64| Value::Oid(Oid::new(OidSpace::Null, p));
+        a.insert("p", vec![n(1)]).unwrap();
+        a.insert("q", vec![n(1), Value::Int(7)]).unwrap();
+        b.insert("p", vec![n(9)]).unwrap();
+        b.insert("q", vec![n(9), Value::Int(7)]).unwrap();
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn isomorphism_distinguishes_linkage() {
+        // a: the same null in p and q. b: two different nulls.
+        let mut a = FactDb::new();
+        let mut b = FactDb::new();
+        let n = |p: u64| Value::Oid(Oid::new(OidSpace::Null, p));
+        a.insert("p", vec![n(1)]).unwrap();
+        a.insert("q", vec![n(1)]).unwrap();
+        b.insert("p", vec![n(1)]).unwrap();
+        b.insert("q", vec![n(2)]).unwrap();
+        assert!(!isomorphic(&a, &b));
+        let diff = canonical_diff(&a, &b).unwrap();
+        assert!(diff.contains("+ q(ν1)"), "{diff}");
+    }
+
+    #[test]
+    fn nulls_never_unify_with_skolems() {
+        let mut a = FactDb::new();
+        let mut b = FactDb::new();
+        a.insert("p", vec![Value::Oid(Oid::new(OidSpace::Null, 1))])
+            .unwrap();
+        b.insert("p", vec![Value::Oid(Oid::new(OidSpace::Skolem, 1))])
+            .unwrap();
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn oracle_caps_runaway_programs() {
+        // Value-inventing recursion: X+1 forever. The cap must trip.
+        let program = parse_program(
+            "n(0).\n\
+             n(X), Y = X + 1 -> n(Y).",
+        )
+        .unwrap();
+        let err = naive_chase_with(
+            &program,
+            &[],
+            &OracleConfig {
+                max_iterations: 50,
+                max_facts: 1_000_000,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, KgmError::ResourceExhausted(_)), "{err:?}");
+    }
+}

@@ -631,11 +631,19 @@ impl Parser {
         }
         if self.eat_punct("-") {
             let inner = self.expr_unary(ctx)?;
-            return Ok(Expr::Bin(
-                BinOp::Sub,
-                Box::new(Expr::Const(Value::Int(0))),
-                Box::new(inner),
-            ));
+            // Fold a negated numeric literal into a negative constant so
+            // `-3` means `Const(-3)` in expressions exactly as it does in
+            // atom argument position — without the fold, printing a
+            // negative constant and reparsing it would yield `0 - 3`.
+            return Ok(match inner {
+                Expr::Const(Value::Int(i)) => Expr::Const(Value::Int(-i)),
+                Expr::Const(Value::Float(f)) => Expr::Const(Value::Float(-f)),
+                other => Expr::Bin(
+                    BinOp::Sub,
+                    Box::new(Expr::Const(Value::Int(0))),
+                    Box::new(other),
+                ),
+            });
         }
         self.expr_primary(ctx)
     }

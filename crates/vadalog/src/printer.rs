@@ -12,12 +12,23 @@ use crate::bindings::InputSource;
 use kgm_common::Value;
 use std::fmt::Write;
 
+/// Escape a string for a double-quoted Vadalog literal. Mirrors the escape
+/// sequences the lexer understands (`\\`, `\"`, `\n`, `\t`); without the
+/// last two, a string containing a newline would print as a literal line
+/// break and fail to reparse.
+fn escape_str(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t")
+}
+
 fn literal(v: &Value, parseable: &mut bool) -> String {
     match v {
         Value::Bool(b) => b.to_string(),
         Value::Int(i) => i.to_string(),
         Value::Float(f) => format!("{f:?}"),
-        Value::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Value::Str(s) => format!("\"{}\"", escape_str(s)),
         Value::Date(d) => d.to_string(),
         Value::Oid(o) => {
             *parseable = false;
@@ -68,7 +79,7 @@ fn expr(e: &Expr, rule: &Rule, parseable: &mut bool) -> String {
         ),
         Expr::Not(a) => format!("!({})", expr(a, rule, parseable)),
         Expr::Skolem(name, args) => {
-            let mut parts = vec![format!("\"{name}\"")];
+            let mut parts = vec![format!("\"{}\"", escape_str(name))];
             parts.extend(args.iter().map(|a| expr(a, rule, parseable)));
             format!("skolem({})", parts.join(", "))
         }

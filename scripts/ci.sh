@@ -97,6 +97,27 @@ case "$fault_err" in
 esac
 echo "ok: deadline degrades gracefully; injected faults fail structurally"
 
+echo "== differential conformance smoke =="
+# Fixed-seed differential run: naive oracle vs the optimized engine, with
+# the engine forced through both the sequential and the sharded-parallel
+# path (the suite itself compares 1/2/4 worker threads per case; the
+# KGM_THREADS values exercise both defaults of the ambient config).
+for threads in 1 4; do
+    KGM_PROP_SEED=20220046 KGM_PROP_CASES=64 KGM_THREADS=$threads \
+        cargo test --release --offline -q -p kgm-vadalog \
+        --test differential >/dev/null
+done
+echo "ok: 64-case fixed-seed differential run agrees at 1 and 4 threads"
+
+echo "== frozen goldens =="
+# Goldens must match byte-for-byte; KGM_GOLDEN_FROZEN forbids blessing and
+# turns a missing golden file into a failure.
+KGM_GOLDEN_FROZEN=1 cargo test --release --offline -q \
+    -p kgm-metalog --test golden_mtv >/dev/null
+KGM_GOLDEN_FROZEN=1 cargo test --release --offline -q \
+    -p kgm-core --test golden_sst >/dev/null
+echo "ok: MTV + SSST goldens match byte-for-byte"
+
 echo "== observability smoke =="
 rm -f BENCH_chase.json BENCH_control_pipeline.json \
     target/paper-artifacts/run_report_e7.json
