@@ -32,7 +32,16 @@
 //! KGM_LOG=span paper-harness … # print the live span tree to stderr
 //! paper-harness validate-json FILE…   # exit non-zero unless every FILE is
 //!                                     # valid JSON (CI smoke helper)
+//! paper-harness scale-smoke [nodes]   # registry-scale chase at 1 vs 8
+//!                                     # worker threads; exit non-zero if
+//!                                     # the outputs diverge (CI gate for
+//!                                     # the partitioned merge; default
+//!                                     # 100000 nodes)
 //! ```
+//!
+//! The `--profile` bench refresh additionally honours `KGM_BENCH_NODES`:
+//! the `chase/control_vadalog_t{1,4,8}` groups are benchmarked at that
+//! registry scale (default 400, matching the legacy row).
 //!
 //! Failures are propagated, not panicked: every experiment error reaches
 //! `main`, is printed to stderr, and exits non-zero (unknown experiments
@@ -133,19 +142,19 @@ fn run_e10(nodes: usize) -> Result<()> {
     Ok(())
 }
 
-/// Refresh the two repo-root perf-trajectory files with a quick in-process
-/// bench pass: the raw chase (direct Vadalog control program, at the
-/// env-default worker count plus pinned 1-thread and N-thread runs for the
-/// parallel-chase trajectory) and the full Algorithm 2 control pipeline.
-/// (The `expect`s inside `b.iter` closures stay: the bench driver's closure
-/// signature cannot propagate errors, and a failing benchmark body is a
-/// legitimate panic.)
+/// Refresh the two repo-root perf-trajectory files with an in-process bench
+/// pass: the raw chase (direct Vadalog control program at the legacy
+/// 400-company scale, plus pinned 1-/4-/8-thread runs at `KGM_BENCH_NODES`
+/// registry scale for the parallel-chase trajectory) and the full
+/// Algorithm 2 control pipeline. (The `expect`s inside `b.iter` closures
+/// stay: the bench driver's closure signature cannot propagate errors, and
+/// a failing benchmark body is a legitimate panic.)
 fn refresh_bench_reports() {
     let mut criterion = kgm_runtime::bench::Criterion::new();
     let g = bench_graph(400);
     {
         let mut group = criterion.benchmark_group("chase/control_vadalog");
-        group.sample_size(3);
+        group.sample_size(5);
         group.bench_with_input(
             kgm_runtime::bench::BenchmarkId::from_parameter(400),
             &g,
@@ -153,17 +162,23 @@ fn refresh_bench_reports() {
         );
         group.finish();
     }
-    // 1-vs-N wall-clock for the sharded chase. N is the configured worker
-    // count, floored at 4 so single-core runners still record a parallel
-    // column (expect no speedup there — the comparison is honest, not
-    // flattering).
-    let wide = kgm_runtime::par::threads_from_env().max(4);
-    for t in [1, wide] {
+    // 1-vs-4-vs-8 wall-clock for the sharded chase, at `KGM_BENCH_NODES`
+    // scale (default: the legacy 400 companies, so a plain `--profile` run
+    // stays quick; the committed registry-scale rows are produced with
+    // KGM_BENCH_NODES=1000000). On a single-core runner the wide columns
+    // cannot beat t1 — the comparison is honest, not flattering: it is
+    // there to catch parallel-path regressions, not to advertise speedups.
+    let scale = std::env::var("KGM_BENCH_NODES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(400);
+    let gs = if scale == 400 { g } else { bench_graph(scale) };
+    for t in [1usize, 4, 8] {
         let mut group = criterion.benchmark_group(format!("chase/control_vadalog_t{t}"));
-        group.sample_size(3);
+        group.sample_size(5);
         group.bench_with_input(
-            kgm_runtime::bench::BenchmarkId::from_parameter(400),
-            &g,
+            kgm_runtime::bench::BenchmarkId::from_parameter(scale),
+            &gs,
             |b, g| b.iter(|| control_vadalog_threads(g, t).expect("chase bench")),
         );
         group.finish();
@@ -176,7 +191,7 @@ fn refresh_bench_reports() {
     let mut criterion = kgm_runtime::bench::Criterion::new();
     {
         let mut group = criterion.benchmark_group("control_pipeline/single_pass");
-        group.sample_size(3);
+        group.sample_size(5);
         group.bench_function(kgm_runtime::bench::BenchmarkId::from_parameter(150), |b| {
             b.iter(|| {
                 e7_control_pipeline(150, MaterializationMode::SinglePass)
@@ -189,6 +204,60 @@ fn refresh_bench_reports() {
         Ok(path) => println!("  [bench] {}", path.display()),
         Err(e) => eprintln!("  [bench] control_pipeline report not written: {e}"),
     }
+}
+
+/// Order-independent digest of a control relation: each `(controller,
+/// controlled)` pair is mixed through splitmix64 and the mixes are summed,
+/// so two runs agree iff they derived the same set of pairs regardless of
+/// hash-set iteration order.
+fn control_digest(pairs: &kgm_common::FxHashSet<(u64, u64)>) -> u64 {
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+    pairs
+        .iter()
+        .fold(0u64, |acc, &(a, b)| {
+            acc.wrapping_add(splitmix64(splitmix64(a) ^ b.rotate_left(32)))
+        })
+}
+
+/// `scale-smoke [nodes]` — the CI gate for the partitioned merge: generate
+/// a registry-scale shareholding graph once, run the company-control chase
+/// at 1 and 8 worker threads, and require both runs to produce the same
+/// control relation (digest), derived-fact count, and null count. Exits
+/// non-zero on any divergence. Wall times are printed but not compared —
+/// on a single-core runner t8 is expected to match t1, not beat it.
+fn run_scale_smoke(nodes: usize) -> Result<ExitCode> {
+    let g = bench_graph(nodes);
+    println!("scale-smoke: {nodes} nodes, {} OWNS edges", g.edge_count());
+    let mut runs: Vec<(usize, u64, usize, usize)> = Vec::new();
+    for t in [1usize, 8] {
+        let t0 = std::time::Instant::now();
+        let (controls, stats) = control_vadalog_threads(&g, t)?;
+        let secs = t0.elapsed().as_secs_f64();
+        let digest = control_digest(&controls);
+        println!(
+            "  t{t}: {} control pairs, {} derived facts, digest {digest:016x}, {secs:.2}s",
+            controls.len(),
+            stats.derived_facts,
+        );
+        runs.push((t, digest, stats.derived_facts, stats.nulls_created));
+    }
+    let (_, d0, f0, n0) = runs[0];
+    for &(t, d, f, n) in &runs[1..] {
+        if (d, f, n) != (d0, f0, n0) {
+            eprintln!(
+                "scale-smoke: t{t} diverged from t1: digest {d:016x} vs {d0:016x}, \
+                 derived {f} vs {f0}, nulls {n} vs {n0}"
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    println!("scale-smoke: thread counts agree");
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Assemble the machine-readable run report: captured span trees plus the
@@ -263,6 +332,10 @@ fn run_cli() -> Result<ExitCode> {
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     if cmd == "validate-json" {
         return Ok(validate_json_files(&args[1..]));
+    }
+    if cmd == "scale-smoke" {
+        let nodes = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+        return run_scale_smoke(nodes);
     }
     if trace {
         telemetry::force_trace(true);

@@ -17,6 +17,7 @@ pub mod error;
 pub mod hash;
 pub mod interner;
 pub mod oid;
+pub mod pool;
 pub mod skolem;
 pub mod value;
 
@@ -24,6 +25,7 @@ pub use codec::CodecError;
 pub use error::{KgmError, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use interner::{Interner, Symbol};
+pub use pool::ValuePool;
 pub use oid::{Oid, OidGen, OidSpace};
 pub use skolem::{SkolemFunctor, SkolemRegistry};
 pub use value::{Value, ValueType};

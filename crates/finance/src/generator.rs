@@ -266,6 +266,31 @@ mod tests {
         );
     }
 
+    /// The E7/E8 registry experiments and the `paper-harness scale-smoke`
+    /// CI gate generate graphs at 100k–1M+ nodes, which only works because
+    /// preferential attachment is implemented with the O(n) repeated-
+    /// endpoints pool rather than a per-edge degree rescan. Pin the
+    /// registry-fraction case: a 150k-node graph must come out with the
+    /// same calibrated edge ratio as the small graphs (no size-dependent
+    /// drift) and the E7 control-pipeline config must stay generable too.
+    #[test]
+    fn generation_scales_to_registry_fractions() {
+        let g = generate_shareholding(&ShareholdingConfig {
+            nodes: 150_000,
+            person_fraction: 0.3,
+            cross_ownership: 0.01,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(g.node_count(), 150_000);
+        let ratio = g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            (1.0..1.6).contains(&ratio),
+            "edges/node = {ratio} at 150k nodes, expected the small-graph \
+             calibration to hold"
+        );
+    }
+
     #[test]
     fn institutional_investors_create_the_out_degree_tail() {
         let with = generate_shareholding(&ShareholdingConfig {

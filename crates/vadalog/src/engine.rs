@@ -34,247 +34,16 @@ use std::time::{Duration, Instant};
 // ---------------------------------------------------------------------
 // Fact storage
 // ---------------------------------------------------------------------
+//
+// The columnar store lives in `crate::factdb`: per-column `u64` id arrays
+// over a `ValuePool` interner, a packed tuple-hash dedup table, and
+// posting-list join indexes that are built incrementally by the single
+// writer and reused (read-only) across semi-naive iterations and shard
+// workers. `FactDb` is re-exported here so `engine::FactDb` remains the
+// canonical path.
 
-struct Index {
-    map: FxHashMap<Vec<Value>, Vec<u32>>,
-    built_upto: usize,
-}
-
-/// One predicate's extension.
-///
-/// Hash join indexes are built *eagerly* by the single writer (once per
-/// fixpoint iteration, via [`Relation::ensure_index`]) and read through the
-/// immutable [`Relation::lookup`], so a frozen `FactDb` is `Sync` and shard
-/// workers can probe it concurrently without locks. A lookup against a key
-/// set nobody pre-built falls back to a linear scan of the unindexed tail —
-/// correct, just slower — so eager building is an optimization contract, not
-/// a soundness one.
-struct Relation {
-    arity: usize,
-    tuples: Vec<Vec<Value>>,
-    set: FxHashSet<Vec<Value>>,
-    indexes: FxHashMap<Vec<usize>, Index>,
-}
-
-impl Relation {
-    fn new(arity: usize) -> Self {
-        Relation {
-            arity,
-            tuples: Vec::new(),
-            set: FxHashSet::default(),
-            indexes: FxHashMap::default(),
-        }
-    }
-
-    fn insert(&mut self, tuple: Vec<Value>) -> bool {
-        if self.set.contains(&tuple) {
-            return false;
-        }
-        self.set.insert(tuple.clone());
-        self.tuples.push(tuple);
-        true
-    }
-
-    /// Create (or catch up) the hash index over `positions` so that
-    /// subsequent [`Relation::lookup`]s on that key set are O(hits).
-    fn ensure_index(&mut self, positions: &[usize]) {
-        if positions.is_empty() {
-            return;
-        }
-        let entry = self.indexes.entry(positions.to_vec()).or_insert_with(|| Index {
-            map: FxHashMap::default(),
-            built_upto: 0,
-        });
-        while entry.built_upto < self.tuples.len() {
-            let i = entry.built_upto;
-            let k: Vec<Value> = positions
-                .iter()
-                .map(|&p| self.tuples[i][p].clone())
-                .collect();
-            entry.map.entry(k).or_default().push(i as u32);
-            entry.built_upto += 1;
-        }
-    }
-
-    /// Tuple indices matching `key` at `positions`, restricted to `range`,
-    /// ascending. Read-only: uses the prebuilt index where it covers the
-    /// range and scans the unindexed tail linearly.
-    fn lookup(&self, positions: &[usize], key: &[Value], range: &Range<usize>) -> Vec<u32> {
-        let hi = range.end.min(self.tuples.len());
-        if positions.is_empty() {
-            return (range.start as u32..hi as u32).collect();
-        }
-        let (mut out, indexed_upto) = match self.indexes.get(positions) {
-            Some(idx) => {
-                let covered = hi.min(idx.built_upto);
-                let hits = match idx.map.get(key) {
-                    Some(v) => v
-                        .iter()
-                        .copied()
-                        .filter(|&i| (i as usize) >= range.start && (i as usize) < covered)
-                        .collect(),
-                    None => Vec::new(),
-                };
-                (hits, idx.built_upto)
-            }
-            None => (Vec::new(), 0),
-        };
-        for i in range.start.max(indexed_upto)..hi {
-            let t = &self.tuples[i];
-            if positions.iter().zip(key).all(|(&p, k)| &t[p] == k) {
-                out.push(i as u32);
-            }
-        }
-        out
-    }
-}
-
-/// The fact database the engine reads from and writes to.
-#[derive(Default)]
-pub struct FactDb {
-    rels: FxHashMap<String, Relation>,
-    total: usize,
-}
-
-impl FactDb {
-    /// Empty database.
-    pub fn new() -> Self {
-        FactDb::default()
-    }
-
-    /// Insert one fact. Returns `true` if it was new.
-    pub fn insert(&mut self, predicate: &str, tuple: Vec<Value>) -> Result<bool> {
-        let rel = self
-            .rels
-            .entry(predicate.to_string())
-            .or_insert_with(|| Relation::new(tuple.len()));
-        if rel.arity != tuple.len() {
-            return Err(KgmError::Schema(format!(
-                "predicate `{predicate}` has arity {}, got tuple of length {}",
-                rel.arity,
-                tuple.len()
-            )));
-        }
-        let new = rel.insert(tuple);
-        if new {
-            self.total += 1;
-        }
-        Ok(new)
-    }
-
-    /// Bulk insert.
-    pub fn add_facts(&mut self, predicate: &str, tuples: Vec<Vec<Value>>) -> Result<usize> {
-        let mut n = 0;
-        for t in tuples {
-            if self.insert(predicate, t)? {
-                n += 1;
-            }
-        }
-        Ok(n)
-    }
-
-    /// Snapshot of a predicate's facts (empty if unknown).
-    ///
-    /// Clones every tuple; prefer [`FactDb::facts_iter`] when a borrow is
-    /// enough (post-run result scans, counting, projections).
-    pub fn facts(&self, predicate: &str) -> Vec<Vec<Value>> {
-        self.rels
-            .get(predicate)
-            .map(|r| r.tuples.clone())
-            .unwrap_or_default()
-    }
-
-    /// Borrowing view of a predicate's facts, in insertion order (empty if
-    /// unknown). The clone-free counterpart of [`FactDb::facts`].
-    pub fn facts_iter(&self, predicate: &str) -> impl Iterator<Item = &[Value]> + '_ {
-        self.rels
-            .get(predicate)
-            .map(|r| r.tuples.as_slice())
-            .unwrap_or_default()
-            .iter()
-            .map(Vec::as_slice)
-    }
-
-    /// The facts of `predicate` from index `start` on — used to separate
-    /// derived facts from previously loaded input facts.
-    ///
-    /// Clones; prefer [`FactDb::facts_after_iter`] when a borrow is enough.
-    pub fn facts_after(&self, predicate: &str, start: usize) -> Vec<Vec<Value>> {
-        self.rels
-            .get(predicate)
-            .map(|r| r.tuples.get(start..).unwrap_or_default().to_vec())
-            .unwrap_or_default()
-    }
-
-    /// Borrowing view of the facts of `predicate` from index `start` on.
-    /// The clone-free counterpart of [`FactDb::facts_after`].
-    pub fn facts_after_iter(
-        &self,
-        predicate: &str,
-        start: usize,
-    ) -> impl Iterator<Item = &[Value]> + '_ {
-        self.rels
-            .get(predicate)
-            .and_then(|r| r.tuples.get(start..))
-            .unwrap_or_default()
-            .iter()
-            .map(Vec::as_slice)
-    }
-
-    /// Number of facts for `predicate`.
-    pub fn len(&self, predicate: &str) -> usize {
-        self.rels.get(predicate).map(|r| r.tuples.len()).unwrap_or(0)
-    }
-
-    /// True if the database holds no facts at all.
-    pub fn is_empty(&self) -> bool {
-        self.total == 0
-    }
-
-    /// Total fact count across predicates.
-    pub fn total_facts(&self) -> usize {
-        self.total
-    }
-
-    /// Approximate resident bytes of the stored facts, by fact/arity
-    /// accounting: every tuple is stored twice (insertion-order vector and
-    /// dedup set) plus per-entry hash overhead. Deliberately a *proxy* —
-    /// heap payloads behind interned strings/OIDs are not walked — but
-    /// monotone in the fact count, which is what the
-    /// [`EngineConfig::max_bytes`] budget needs.
-    pub fn approx_bytes(&self) -> usize {
-        const PER_TUPLE_OVERHEAD: usize = 48;
-        self.rels
-            .values()
-            .map(|r| {
-                r.tuples.len()
-                    * (2 * r.arity * std::mem::size_of::<Value>() + PER_TUPLE_OVERHEAD)
-            })
-            .sum()
-    }
-
-    /// Exact containment test.
-    pub fn contains(&self, predicate: &str, tuple: &[Value]) -> bool {
-        self.rels
-            .get(predicate)
-            .is_some_and(|r| r.set.contains(tuple))
-    }
-
-    /// All predicate names, sorted.
-    pub fn predicates(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.rels.keys().cloned().collect();
-        v.sort();
-        v
-    }
-
-    /// Build (or catch up) the hash join index of `predicate` over
-    /// `positions`. A no-op for unknown predicates.
-    fn ensure_index(&mut self, predicate: &str, positions: &[usize]) {
-        if let Some(rel) = self.rels.get_mut(predicate) {
-            rel.ensure_index(positions);
-        }
-    }
-}
+pub use crate::factdb::FactDb;
+use crate::factdb::Verdict;
 
 // ---------------------------------------------------------------------
 // Engine
@@ -455,6 +224,9 @@ pub struct ChaseProfile {
     /// counted in `duplicates_rejected`) so parallel and sequential runs
     /// stay bit-identical; this counter just sizes the redundant work.
     pub merge_dedup_hits: usize,
+    /// Dedup partitions spawned by the hash-partitioned parallel merge
+    /// across all insert batches (0 when every batch applied serially).
+    pub merge_partitions: usize,
     /// Cancellation/deadline polls performed inside binding loops (0 when
     /// neither a cancel token nor a deadline was configured).
     pub cancel_polls: usize,
@@ -913,15 +685,7 @@ impl Engine {
                         },
                     };
                     let emitted = new_facts.len();
-                    let mut inserted = 0usize;
-                    for (pred, tuple) in new_facts {
-                        if let Some(msg) = kgm_runtime::fault::trip("chase.insert") {
-                            return Err(KgmError::Internal(format!("{msg} ({pred})")));
-                        }
-                        if db.insert(&pred, tuple)? {
-                            inserted += 1;
-                        }
-                    }
+                    let inserted = self.insert_out(db, new_facts, &mut stats.profile)?;
                     stats.derived_facts += inserted;
                     stats.duplicates_rejected += emitted - inserted;
                     let prof = &mut stats.profile.rules[ri];
@@ -1022,15 +786,7 @@ impl Engine {
                     watermark.insert(p.clone(), db.len(p));
                 }
                 let emitted = out.len();
-                let mut inserted = 0usize;
-                for (pred, tuple) in out {
-                    if let Some(msg) = kgm_runtime::fault::trip("chase.insert") {
-                        return Err(KgmError::Internal(format!("{msg} ({pred})")));
-                    }
-                    if db.insert(&pred, tuple)? {
-                        inserted += 1;
-                    }
-                }
+                let inserted = self.insert_out(db, out, &mut stats.profile)?;
                 stats.derived_facts += inserted;
                 stats.duplicates_rejected += emitted - inserted;
                 // Post-insert check (the fact cap's historical timing): the
@@ -1180,6 +936,59 @@ impl Engine {
         Ok((db, stats))
     }
 
+    /// Insert a batch of emitted head tuples into `db`, in emission order,
+    /// returning how many were new.
+    ///
+    /// Sequentially (one thread, or a batch under `min_parallel_batch`)
+    /// this is probe-and-insert per tuple. Otherwise deduplication runs
+    /// first as a *parallel* phase: candidates are hash-partitioned across
+    /// workers, each worker owning one slice of the tuple-hash space and
+    /// issuing an Insert/Dup verdict per candidate (frozen-store probe plus
+    /// first-occurrence-in-batch; equal tuples always share a partition).
+    /// The serial apply then walks the batch in the original order acting
+    /// on the verdicts. Verdicts are a pure function of the frozen store
+    /// and the batch — the partition count only divides the work — and the
+    /// apply loop visits every candidate in exactly the sequential order
+    /// (fault-injection checkpoints included), so the insertion order, and
+    /// therefore every downstream delta range, null OID and counter, is
+    /// bit-identical at any `KGM_THREADS`.
+    fn insert_out(
+        &self,
+        db: &mut FactDb,
+        out: Vec<(String, Vec<Value>)>,
+        profile: &mut ChaseProfile,
+    ) -> Result<usize> {
+        let threads = self.config.threads;
+        let mut inserted = 0usize;
+        if threads > 1 && out.len() >= self.config.min_parallel_batch.max(1) {
+            let verdicts = db.insert_batch_verdicts(&out, threads);
+            profile.merge_partitions += threads.min(out.len()).max(1);
+            for (i, (pred, tuple)) in out.into_iter().enumerate() {
+                if let Some(msg) = kgm_runtime::fault::trip("chase.insert") {
+                    return Err(KgmError::Internal(format!("{msg} ({pred})")));
+                }
+                if verdicts[i] == Verdict::Insert {
+                    if !db.insert(&pred, tuple)? {
+                        return Err(KgmError::Internal(format!(
+                            "partitioned merge verdict diverged on `{pred}`"
+                        )));
+                    }
+                    inserted += 1;
+                }
+            }
+        } else {
+            for (pred, tuple) in out {
+                if let Some(msg) = kgm_runtime::fault::trip("chase.insert") {
+                    return Err(KgmError::Internal(format!("{msg} ({pred})")));
+                }
+                if db.insert(&pred, tuple)? {
+                    inserted += 1;
+                }
+            }
+        }
+        Ok(inserted)
+    }
+
     // -----------------------------------------------------------------
     // Rule evaluation
     // -----------------------------------------------------------------
@@ -1291,13 +1100,24 @@ impl Engine {
         struct ShardOut {
             /// Bindings that completed the join and survived the pure step
             /// prefix, in enumeration order (pure-prefix assigns applied).
+            /// Empty for fully pure rules, whose workers emit heads directly.
             survivors: Vec<Vec<Option<Value>>>,
+            /// Head tuples emitted by this worker (fully pure rules only),
+            /// in enumeration order.
+            heads: Vec<(String, Vec<Value>)>,
+            /// Matches that survived the pure step prefix.
+            survived: usize,
             /// Complete body matches enumerated (pre-filter).
             enumerated: usize,
         }
         let t_rule = Instant::now();
         let emitted_before = out.len();
         let pure_end = self.meta[ri].pure_steps;
+        // A rule whose every step is pure and whose head mints no labelled
+        // nulls has nothing left for the writer to replay: workers emit the
+        // head tuples themselves, and the merge is a shard-order
+        // concatenation (identical to the sequential emission order).
+        let fully_pure = pure_end == rule.steps.len() && self.meta[ri].existentials.is_empty();
         let order = join_order(rule, Some(shard_atom));
         let shards = kgm_runtime::par::split_range(shard_range, self.config.threads);
         let span = kgm_runtime::span_debug!(
@@ -1317,12 +1137,18 @@ impl Engine {
                     }
                     let mut so = ShardOut {
                         survivors: Vec::new(),
+                        heads: Vec::new(),
+                        survived: 0,
                         enumerated: 0,
                     };
                     let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
                     // The pure prefix stops before any Aggregate step, so this
                     // map is never consulted; it only satisfies `run_steps`.
                     let mut no_mono: FxHashMap<(usize, Vec<Value>), MonoState> =
+                        FxHashMap::default();
+                    // Likewise: `emit_heads` on a fully pure rule (no
+                    // existentials) never touches the null table.
+                    let mut no_nulls: FxHashMap<(usize, Var, Vec<Value>), Oid> =
                         FxHashMap::default();
                     let delta = Some((shard_atom, r.clone()));
                     self.join(
@@ -1355,7 +1181,15 @@ impl Engine {
                                 }
                             };
                             if keep {
-                                so.survivors.push(binding.clone());
+                                so.survived += 1;
+                                if fully_pure {
+                                    self.emit_heads(
+                                        ri, rule, binding, null_gen, &mut no_nulls,
+                                        &mut so.heads,
+                                    )?;
+                                } else {
+                                    so.survivors.push(binding.clone());
+                                }
                             }
                             for v in assigned {
                                 binding[v.0 as usize] = None;
@@ -1378,7 +1212,10 @@ impl Engine {
         for res in results {
             let so = res?;
             enumerated += so.enumerated;
-            candidates += so.survivors.len();
+            candidates += so.survived;
+            // Fully pure rules: shard-order concatenation of worker-emitted
+            // heads *is* the sequential emission order.
+            out.extend(so.heads);
             for mut binding in so.survivors {
                 // Owned binding: no undo needed between survivors.
                 let mut assigned: Vec<Var> = Vec::new();
@@ -1446,7 +1283,7 @@ impl Engine {
         }
         let idx = order[pos];
         let atom = &rule.body[idx];
-        let Some(rel) = db.rels.get(&atom.predicate) else {
+        let Some(rel) = db.rel(&atom.predicate) else {
             return Ok(());
         };
         if rel.arity != atom.terms.len() {
@@ -1457,45 +1294,57 @@ impl Engine {
                 rel.arity
             )));
         }
-        // Bound positions form the index key.
+        // Bound positions form the packed index key. A value the pool never
+        // interned cannot appear in any stored tuple, so a lookup miss ends
+        // this branch of the join immediately.
+        let pool = db.pool();
         let mut positions: Vec<usize> = Vec::new();
-        let mut key: Vec<Value> = Vec::new();
+        let mut key: Vec<u64> = Vec::new();
         for (i, t) in atom.terms.iter().enumerate() {
-            match t {
-                Term::Const(v) => {
-                    positions.push(i);
-                    key.push(v.clone());
-                }
-                Term::Var(v) => {
-                    if let Some(val) = &binding[v.0 as usize] {
+            let bound = match t {
+                Term::Const(v) => Some(v),
+                Term::Var(v) => binding[v.0 as usize].as_ref(),
+            };
+            if let Some(val) = bound {
+                match pool.lookup(val) {
+                    Some(id) => {
                         positions.push(i);
-                        key.push(val.clone());
+                        key.push(id);
                     }
+                    None => return Ok(()),
                 }
             }
         }
         let range = match delta {
             Some((ai, r)) if *ai == idx => r.clone(),
-            _ => 0..rel.tuples.len(),
+            _ => 0..rel.rows(),
         };
-        let candidates = rel.lookup(&positions, &key, &range);
+        let candidates = rel.lookup(&positions, &key, &range, pool.classes());
         for ci in candidates {
-            let tuple = &rel.tuples[ci as usize];
-            // Extend the binding with unbound variables; repeated unbound
-            // variables within the atom must agree.
+            let row = ci as usize;
+            // Extend the binding with unbound variables. Positions in the
+            // key are already filtered by `lookup`; only variables repeated
+            // *within* this atom (bound a few positions ago) still need an
+            // equality check, on `Value`s so cross-numeric equality applies.
             let mut assigned: Vec<Var> = Vec::new();
             let mut ok = true;
+            let mut kpos = 0usize;
             for (i, t) in atom.terms.iter().enumerate() {
+                let keyed = kpos < positions.len() && positions[kpos] == i;
+                if keyed {
+                    kpos += 1;
+                }
                 if let Term::Var(v) = t {
                     match &binding[v.0 as usize] {
                         Some(val) => {
-                            if *val != tuple[i] {
+                            if !keyed && *val != *pool.get(rel.id_at(row, i)) {
                                 ok = false;
                                 break;
                             }
                         }
                         None => {
-                            binding[v.0 as usize] = Some(tuple[i].clone());
+                            binding[v.0 as usize] =
+                                Some(pool.get(rel.id_at(row, i)).clone());
                             assigned.push(*v);
                         }
                     }
@@ -1976,17 +1825,6 @@ fn combine(func: AggregateFunc, acc: &Value, v: &Value) -> Result<Value> {
     }
 }
 
-impl std::fmt::Debug for FactDb {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut preds = self.predicates();
-        preds.truncate(16);
-        f.debug_struct("FactDb")
-            .field("total", &self.total)
-            .field("predicates", &preds)
-            .finish()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2004,96 +1842,8 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn lookup_index_catches_up_after_inserts() {
-        // An index built before an insert must still see tuples inserted
-        // afterwards: the unindexed tail is scanned linearly until
-        // `ensure_index` catches `built_upto` up.
-        let mut r = Relation::new(2);
-        r.insert(vec![Value::Int(1), Value::Int(10)]);
-        r.insert(vec![Value::Int(2), Value::Int(20)]);
-        // Build the index on position 0 now…
-        r.ensure_index(&[0]);
-        assert_eq!(r.lookup(&[0], &[Value::Int(1)], &(0..2)), vec![0]);
-        // …then insert more tuples, including one under an indexed key.
-        r.insert(vec![Value::Int(1), Value::Int(11)]);
-        r.insert(vec![Value::Int(3), Value::Int(30)]);
-        assert_eq!(
-            r.lookup(&[0], &[Value::Int(1)], &(0..4)),
-            vec![0, 2],
-            "post-build insert must appear via the tail scan"
-        );
-        assert_eq!(
-            r.lookup(&[0], &[Value::Int(3)], &(0..4)),
-            vec![3],
-            "a brand-new key must be found too"
-        );
-        // Catching up must not change any answer.
-        r.ensure_index(&[0]);
-        assert_eq!(r.lookup(&[0], &[Value::Int(1)], &(0..4)), vec![0, 2]);
-        assert_eq!(r.lookup(&[0], &[Value::Int(3)], &(0..4)), vec![3]);
-        // A key set without any index at all works too (pure linear scan).
-        assert_eq!(r.lookup(&[1], &[Value::Int(11)], &(0..4)), vec![2]);
-    }
-
-    #[test]
-    fn lookup_range_restricts_delta_evaluation() {
-        let mut r = Relation::new(2);
-        for i in 0..6i64 {
-            r.insert(vec![Value::Int(i % 2), Value::Int(i)]);
-        }
-        // Key 0 matches indices 0, 2, 4; a delta range sees only its slice.
-        assert_eq!(r.lookup(&[0], &[Value::Int(0)], &(0..6)), vec![0, 2, 4]);
-        assert_eq!(r.lookup(&[0], &[Value::Int(0)], &(3..6)), vec![4]);
-        assert_eq!(r.lookup(&[0], &[Value::Int(0)], &(0..0)), Vec::<u32>::new());
-        // Empty positions = full scan of the range.
-        assert_eq!(r.lookup(&[], &[], &(2..5)), vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn lookup_keeps_differing_position_sets_isolated() {
-        // Indexes on different position-key sets coexist: building and
-        // catching up one must not corrupt the other.
-        let mut r = Relation::new(2);
-        r.insert(vec![Value::Int(1), Value::Int(10)]);
-        // Index on position 0, then on position 1, then insert more.
-        r.ensure_index(&[0]);
-        r.ensure_index(&[1]);
-        assert_eq!(r.lookup(&[0], &[Value::Int(1)], &(0..1)), vec![0]);
-        assert_eq!(r.lookup(&[1], &[Value::Int(10)], &(0..1)), vec![0]);
-        r.insert(vec![Value::Int(1), Value::Int(20)]);
-        r.insert(vec![Value::Int(2), Value::Int(10)]);
-        assert_eq!(r.lookup(&[0], &[Value::Int(1)], &(0..3)), vec![0, 1]);
-        assert_eq!(r.lookup(&[1], &[Value::Int(10)], &(0..3)), vec![0, 2]);
-        // A composite-position index built late still covers everything.
-        r.ensure_index(&[0, 1]);
-        assert_eq!(
-            r.lookup(&[0, 1], &[Value::Int(1), Value::Int(20)], &(0..3)),
-            vec![1]
-        );
-        assert_eq!(r.indexes.len(), 3, "three distinct index keys");
-    }
-
-    #[test]
-    fn facts_iter_variants_borrow_without_cloning() {
-        let mut db = FactDb::new();
-        db.add_facts("p", ints(&[&[1, 2], &[3, 4], &[5, 6]])).unwrap();
-        let all: Vec<&[Value]> = db.facts_iter("p").collect();
-        assert_eq!(all.len(), 3);
-        assert_eq!(all[0], &[Value::Int(1), Value::Int(2)][..]);
-        // Iterator agrees with the cloning snapshot.
-        assert_eq!(
-            db.facts("p"),
-            db.facts_iter("p").map(<[Value]>::to_vec).collect::<Vec<_>>()
-        );
-        assert_eq!(
-            db.facts_after("p", 1),
-            db.facts_after_iter("p", 1).map(<[Value]>::to_vec).collect::<Vec<_>>()
-        );
-        // Unknown predicates and out-of-range starts yield empty iterators.
-        assert_eq!(db.facts_iter("missing").count(), 0);
-        assert_eq!(db.facts_after_iter("p", 99).count(), 0);
-    }
+    // Storage-level lookup/index/iterator tests live in `crate::factdb`
+    // next to the columnar implementation they exercise.
 
     #[test]
     fn transitive_closure() {
@@ -2481,6 +2231,9 @@ mod tests {
         // The semi-naive re-derivations of `controls(X, X)` & co. surface as
         // merge dedup hits once the facts exist.
         assert!(stats.profile.merge_dedup_hits > 0);
+        // min_parallel_batch is 1, so insert batches took the partitioned
+        // (hash-sliced) merge path.
+        assert!(stats.profile.merge_partitions > 0);
         // Default config on the same input: batches below the threshold run
         // sequentially even with many threads configured.
         let engine = Engine::with_config(

@@ -1,0 +1,721 @@
+//! Columnar fact storage for the chase engine.
+//!
+//! Tuples are packed through a [`ValuePool`] into dense `u64` ids and stored
+//! as flat per-column arrays — one `Vec<u64>` per attribute — instead of the
+//! row-oriented `Vec<Vec<Value>>` of earlier revisions. Three structures hang
+//! off each relation:
+//!
+//! - **Columns** (`cols[p][row]`): the id of attribute `p` in tuple `row`.
+//!   Insertion order is the row order, so semi-naive delta ranges are still
+//!   plain index ranges.
+//! - **Tuple-hash dedup table**: a packed open-addressing table (`Vec<u32>`
+//!   slots into the row space, power-of-two capacity, linear probing) over
+//!   the per-row tuple hash. This replaces the `FxHashSet<Vec<Value>>` that
+//!   used to store every tuple a second time.
+//! - **Join indexes**: posting lists (`packed key → ascending Vec<u32>` of
+//!   rows) built incrementally by the single writer via
+//!   [`Relation::ensure_index`] and *reused across semi-naive iterations* —
+//!   `built_upto` records how far the postings reach, so each fixpoint
+//!   iteration only appends the delta instead of rebuilding.
+//!
+//! The pool is two-level (see [`ValuePool`]): columns store **exact ids** so
+//! tuples read back with the representation they were inserted with, while
+//! row hashes, dedup comparisons and index keys use **class ids** — the
+//! [`Value`]-equality classes under which `Int(1) == Float(1.0)` — so the
+//! columnar store deduplicates and joins exactly like its row-oriented
+//! `FxHashSet<Vec<Value>>` predecessor. A frozen `FactDb` is `Sync`; shard
+//! workers probe columns, dedup table and posting lists concurrently without
+//! locks.
+
+use kgm_common::{FxHashMap, FxHasher, KgmError, Result, Value, ValuePool};
+use std::hash::Hasher;
+use std::ops::Range;
+
+/// Empty slot marker in the dedup table.
+const EMPTY: u32 = u32::MAX;
+
+/// Hash of a packed tuple. Row hashes are stored per row so table growth and
+/// frozen-db probes never re-touch the columns.
+fn hash_ids(ids: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    for &id in ids {
+        h.write_u64(id);
+    }
+    h.finish()
+}
+
+/// One posting-list join index: packed key at `positions` → ascending rows.
+struct Index {
+    map: FxHashMap<Box<[u64]>, Vec<u32>>,
+    /// Rows `0..built_upto` are reflected in the postings; the tail is not.
+    built_upto: usize,
+}
+
+/// Candidate rows produced by [`Relation::lookup`]. Borrows the posting list
+/// when the index fully covers the probe, so the hot join path allocates
+/// nothing per probe.
+pub(crate) enum Candidates<'a> {
+    Range(Range<u32>),
+    Slice(std::slice::Iter<'a, u32>),
+    Owned(std::vec::IntoIter<u32>),
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            Candidates::Range(r) => r.next(),
+            Candidates::Slice(it) => it.next().copied(),
+            Candidates::Owned(it) => it.next(),
+        }
+    }
+}
+
+/// One predicate's extension in columnar form.
+///
+/// Methods that compare or key rows take `class: &[u64]` — the pool's
+/// exact-id → class-id table ([`ValuePool::classes`]) — because the columns
+/// hold exact ids while equality is defined on classes.
+pub(crate) struct Relation {
+    pub(crate) arity: usize,
+    /// `cols[p][row]` = exact pool id of attribute `p` of tuple `row`.
+    cols: Vec<Vec<u64>>,
+    /// Class-id tuple hash per row, aligned with the columns.
+    row_hash: Vec<u64>,
+    /// Open-addressing dedup table over `row_hash`; power-of-two length.
+    table: Vec<u32>,
+    indexes: FxHashMap<Vec<usize>, Index>,
+}
+
+impl Relation {
+    fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            cols: (0..arity).map(|_| Vec::new()).collect(),
+            row_hash: Vec::new(),
+            table: Vec::new(),
+            indexes: FxHashMap::default(),
+        }
+    }
+
+    /// Number of tuples (rows).
+    pub(crate) fn rows(&self) -> usize {
+        self.row_hash.len()
+    }
+
+    /// The id at `(row, col)`.
+    #[inline]
+    pub(crate) fn id_at(&self, row: usize, col: usize) -> u64 {
+        self.cols[col][row]
+    }
+
+    #[inline]
+    fn row_eq(&self, row: usize, key: &[u64], class: &[u64]) -> bool {
+        self.cols
+            .iter()
+            .zip(key)
+            .all(|(c, &k)| class[c[row] as usize] == k)
+    }
+
+    /// Row index of a tuple given its packed **class-id** key, if present.
+    fn find(&self, h: u64, key: &[u64], class: &[u64]) -> Option<u32> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = (h as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => return None,
+                r => {
+                    if self.row_hash[r as usize] == h
+                        && self.row_eq(r as usize, key, class)
+                    {
+                        return Some(r);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Keep the table under 7/8 load, rehashing from the stored row hashes.
+    fn grow_table(&mut self) {
+        let need = (self.row_hash.len() + 1) * 8;
+        if need <= self.table.len() * 7 {
+            return;
+        }
+        let new_len = (self.table.len() * 2).max(16);
+        self.table.clear();
+        self.table.resize(new_len, EMPTY);
+        let mask = new_len - 1;
+        for (row, &h) in self.row_hash.iter().enumerate() {
+            let mut slot = (h as usize) & mask;
+            while self.table[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.table[slot] = row as u32;
+        }
+    }
+
+    /// Insert a packed tuple (exact ids to store, class-id key to dedup on);
+    /// returns `true` if it was new.
+    fn insert_ids(&mut self, ids: &[u64], key: &[u64], class: &[u64]) -> bool {
+        let h = hash_ids(key);
+        if self.find(h, key, class).is_some() {
+            return false;
+        }
+        self.append_row(h, ids);
+        true
+    }
+
+    /// Append a row known (by the caller) to be absent. Still probes for an
+    /// empty slot but skips nothing else; used by the partitioned merge after
+    /// the parallel dedup phase has already issued an "insert" verdict.
+    fn append_row(&mut self, h: u64, ids: &[u64]) {
+        self.grow_table();
+        let row = self.row_hash.len() as u32;
+        let mask = self.table.len() - 1;
+        let mut slot = (h as usize) & mask;
+        while self.table[slot] != EMPTY {
+            slot = (slot + 1) & mask;
+        }
+        self.table[slot] = row;
+        self.row_hash.push(h);
+        for (c, &id) in self.cols.iter_mut().zip(ids) {
+            c.push(id);
+        }
+    }
+
+    /// Create (or catch up) the posting-list index over `positions` so that
+    /// subsequent [`Relation::lookup`]s on that key set are O(hits). Called
+    /// once per fixpoint iteration by the single writer; between calls the
+    /// postings are reused as-is by every shard worker.
+    pub(crate) fn ensure_index(&mut self, positions: &[usize], class: &[u64]) {
+        if positions.is_empty() {
+            return;
+        }
+        let rows = self.rows();
+        let entry = self.indexes.entry(positions.to_vec()).or_insert_with(|| Index {
+            map: FxHashMap::default(),
+            built_upto: 0,
+        });
+        while entry.built_upto < rows {
+            let i = entry.built_upto;
+            let k: Box<[u64]> = positions
+                .iter()
+                .map(|&p| class[self.cols[p][i] as usize])
+                .collect();
+            entry.map.entry(k).or_default().push(i as u32);
+            entry.built_upto += 1;
+        }
+    }
+
+    /// Rows matching the packed **class-id** `key` at `positions`, restricted
+    /// to `range`, ascending. Read-only: where the posting list covers the
+    /// whole range a borrowed sub-slice comes back (postings are ascending,
+    /// so the range restriction is two binary searches); the unindexed tail
+    /// is scanned linearly.
+    pub(crate) fn lookup(
+        &self,
+        positions: &[usize],
+        key: &[u64],
+        range: &Range<usize>,
+        class: &[u64],
+    ) -> Candidates<'_> {
+        let hi = range.end.min(self.rows());
+        if positions.is_empty() {
+            return Candidates::Range(range.start as u32..hi as u32);
+        }
+        let (hits, indexed_upto) = match self.indexes.get(positions) {
+            Some(idx) => {
+                let covered = hi.min(idx.built_upto);
+                let hits = idx.map.get(key).map(|v| {
+                    let lo = v.partition_point(|&i| (i as usize) < range.start);
+                    let up = v.partition_point(|&i| (i as usize) < covered);
+                    &v[lo..up]
+                });
+                (hits.unwrap_or(&[]), idx.built_upto)
+            }
+            None => (&[][..], 0),
+        };
+        let tail_start = range.start.max(indexed_upto);
+        if tail_start >= hi {
+            // Fully covered by the index: no allocation, borrow the postings.
+            return Candidates::Slice(hits.iter());
+        }
+        let mut out: Vec<u32> = hits.to_vec();
+        for i in tail_start..hi {
+            if positions
+                .iter()
+                .zip(key)
+                .all(|(&p, &k)| class[self.cols[p][i] as usize] == k)
+            {
+                out.push(i as u32);
+            }
+        }
+        Candidates::Owned(out.into_iter())
+    }
+
+    /// Heap footprint of this relation: columns, row hashes, dedup slots and
+    /// posting lists (postings total exactly `built_upto` entries per index;
+    /// growth slack is folded into a ×1.5 factor on posting bytes).
+    fn approx_bytes(&self) -> usize {
+        let cols: usize = self.cols.iter().map(|c| c.capacity() * 8).sum();
+        let dedup = self.row_hash.capacity() * 8 + self.table.len() * 4;
+        let indexes: usize = self
+            .indexes
+            .iter()
+            .map(|(pos, idx)| {
+                let key_bytes = pos.len() * 8 + 16; // boxed key + fat pointer
+                let per_entry = key_bytes + 24 + 8; // + Vec header + map slot
+                idx.map.capacity() * per_entry + idx.built_upto * 6
+            })
+            .sum();
+        cols + dedup + indexes
+    }
+}
+
+/// Verdict of the parallel dedup phase of [`FactDb::insert_batch_verdicts`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Verdict {
+    /// First occurrence, absent from the frozen store: will insert.
+    Insert,
+    /// Already present (in the store or earlier in the batch): duplicate.
+    Dup,
+}
+
+/// The fact database the engine reads from and writes to.
+///
+/// Values are interned in a private [`ValuePool`]; all per-relation state is
+/// packed ids (see the module docs). The public API still speaks [`Value`]s:
+/// iteration materializes tuples on demand (a `Value` clone is at most an
+/// `Arc` bump), containment and insertion translate through the pool.
+#[derive(Default)]
+pub struct FactDb {
+    pool: ValuePool,
+    rels: FxHashMap<String, Relation>,
+    total: usize,
+    scratch: Vec<u64>,
+    scratch_class: Vec<u64>,
+}
+
+impl FactDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        FactDb::default()
+    }
+
+    /// Insert one fact. Returns `true` if it was new.
+    pub fn insert(&mut self, predicate: &str, tuple: Vec<Value>) -> Result<bool> {
+        self.insert_ref(predicate, &tuple)
+    }
+
+    /// [`FactDb::insert`] without consuming the tuple (values are interned,
+    /// so ownership buys nothing).
+    pub fn insert_ref(&mut self, predicate: &str, tuple: &[Value]) -> Result<bool> {
+        let rel = self
+            .rels
+            .entry(predicate.to_string())
+            .or_insert_with(|| Relation::new(tuple.len()));
+        if rel.arity != tuple.len() {
+            return Err(KgmError::Schema(format!(
+                "predicate `{predicate}` has arity {}, got tuple of length {}",
+                rel.arity,
+                tuple.len()
+            )));
+        }
+        self.scratch.clear();
+        self.scratch_class.clear();
+        for v in tuple {
+            let id = self.pool.intern(v);
+            self.scratch.push(id);
+            self.scratch_class.push(self.pool.class(id));
+        }
+        let new =
+            rel.insert_ids(&self.scratch, &self.scratch_class, self.pool.classes());
+        if new {
+            self.total += 1;
+        }
+        Ok(new)
+    }
+
+    /// Bulk insert.
+    pub fn add_facts(&mut self, predicate: &str, tuples: Vec<Vec<Value>>) -> Result<usize> {
+        let mut n = 0;
+        for t in tuples {
+            if self.insert(predicate, t)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Snapshot of a predicate's facts (empty if unknown).
+    ///
+    /// Materializes every tuple; prefer [`FactDb::facts_iter`] when streaming
+    /// is enough (post-run result scans, counting, projections).
+    pub fn facts(&self, predicate: &str) -> Vec<Vec<Value>> {
+        self.facts_iter(predicate).collect()
+    }
+
+    /// Streaming view of a predicate's facts, in insertion order (empty if
+    /// unknown). Tuples materialize lazily from the columns — one small
+    /// allocation per yielded tuple, cheap interned `Value` clones — instead
+    /// of the up-front whole-relation clone [`FactDb::facts`] performs.
+    pub fn facts_iter(&self, predicate: &str) -> impl Iterator<Item = Vec<Value>> + '_ {
+        self.facts_after_iter(predicate, 0)
+    }
+
+    /// The facts of `predicate` from index `start` on — used to separate
+    /// derived facts from previously loaded input facts.
+    ///
+    /// Prefer [`FactDb::facts_after_iter`] when streaming is enough.
+    pub fn facts_after(&self, predicate: &str, start: usize) -> Vec<Vec<Value>> {
+        self.facts_after_iter(predicate, start).collect()
+    }
+
+    /// Streaming view of the facts of `predicate` from index `start` on.
+    pub fn facts_after_iter(
+        &self,
+        predicate: &str,
+        start: usize,
+    ) -> impl Iterator<Item = Vec<Value>> + '_ {
+        let rel = self.rels.get(predicate);
+        let rows = rel.map_or(0, Relation::rows);
+        (start.min(rows)..rows).map(move |row| {
+            let rel = rel.expect("rows > 0 implies the relation exists");
+            (0..rel.arity)
+                .map(|c| self.pool.get(rel.id_at(row, c)).clone())
+                .collect()
+        })
+    }
+
+    /// Number of facts for `predicate`.
+    pub fn len(&self, predicate: &str) -> usize {
+        self.rels.get(predicate).map(Relation::rows).unwrap_or(0)
+    }
+
+    /// True if the database holds no facts at all.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total fact count across predicates.
+    pub fn total_facts(&self) -> usize {
+        self.total
+    }
+
+    /// Approximate resident bytes of the store: packed columns, row hashes,
+    /// dedup slots, posting lists and the value pool (including string
+    /// payloads). Unlike the old row-oriented proxy this is real capacity
+    /// accounting — the [`crate::EngineConfig::max_bytes`] governor budget
+    /// tracks actual allocation within small constant factors (pinned by a
+    /// regression test against a counting allocator).
+    pub fn approx_bytes(&self) -> usize {
+        let rels: usize = self.rels.values().map(Relation::approx_bytes).sum();
+        rels + self.pool.approx_bytes()
+    }
+
+    /// Exact containment test. Read-only (never interns): a tuple with any
+    /// never-seen value cannot be stored.
+    pub fn contains(&self, predicate: &str, tuple: &[Value]) -> bool {
+        let Some(rel) = self.rels.get(predicate) else {
+            return false;
+        };
+        if rel.arity != tuple.len() {
+            return false;
+        }
+        let mut ids = [0u64; 8];
+        let mut idv: Vec<u64>;
+        let ids: &mut [u64] = if tuple.len() <= 8 {
+            &mut ids[..tuple.len()]
+        } else {
+            idv = vec![0; tuple.len()];
+            &mut idv
+        };
+        for (slot, v) in ids.iter_mut().zip(tuple) {
+            match self.pool.lookup(v) {
+                Some(class_id) => *slot = class_id,
+                None => return false,
+            }
+        }
+        rel.find(hash_ids(ids), ids, self.pool.classes()).is_some()
+    }
+
+    /// All predicate names, sorted.
+    pub fn predicates(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.rels.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Build (or catch up) the posting-list index of `predicate` over
+    /// `positions`. A no-op for unknown predicates.
+    pub(crate) fn ensure_index(&mut self, predicate: &str, positions: &[usize]) {
+        if let Some(rel) = self.rels.get_mut(predicate) {
+            rel.ensure_index(positions, self.pool.classes());
+        }
+    }
+
+    /// The columnar relation of `predicate`, for the engine's join loop.
+    pub(crate) fn rel(&self, predicate: &str) -> Option<&Relation> {
+        self.rels.get(predicate)
+    }
+
+    /// The value pool, for packing join keys and resolving ids.
+    pub(crate) fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Parallel dedup phase of the partitioned merge: compute, for every
+    /// candidate in `batch`, whether it will insert or is a duplicate —
+    /// without mutating the store. Candidates are hash-partitioned over
+    /// `partitions` workers; equal tuples land in the same partition, so the
+    /// "first occurrence in global batch order wins" rule is decided locally
+    /// per partition. The verdict vector is a pure function of the frozen
+    /// store and the batch (the partition count only divides the work), so
+    /// the subsequent serial apply is bit-identical at any thread count.
+    pub(crate) fn insert_batch_verdicts(
+        &self,
+        batch: &[(String, Vec<Value>)],
+        partitions: usize,
+    ) -> Vec<Verdict> {
+        use kgm_runtime::par;
+        let n = batch.len();
+        let parts = partitions.clamp(1, n.max(1));
+        // Hash every candidate in parallel (pred + values; any hash works —
+        // it only routes work), then bucket indices by partition.
+        let ranges = par::split_range(0..n, parts);
+        let hashed: Vec<Vec<u64>> = par::par_map(&ranges, parts, |r| {
+            r.clone()
+                .map(|i| {
+                    let (pred, tuple) = &batch[i];
+                    let mut h = FxHasher::default();
+                    h.write(pred.as_bytes());
+                    for v in tuple {
+                        std::hash::Hash::hash(v, &mut h);
+                    }
+                    h.finish()
+                })
+                .collect()
+        });
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        for (i, h) in hashed.into_iter().flatten().enumerate() {
+            buckets[(h as usize) % parts].push(i as u32);
+        }
+        // Each partition owner walks its bucket in ascending (= global batch)
+        // order: frozen-store probe plus intra-batch first-occurrence.
+        let verdict_parts: Vec<Vec<(u32, Verdict)>> = par::par_map(&buckets, parts, |bucket| {
+            let mut seen: FxHashMap<(&str, &[Value]), ()> = FxHashMap::default();
+            bucket
+                .iter()
+                .map(|&i| {
+                    let (pred, tuple) = &batch[i as usize];
+                    let novel = !self.contains(pred, tuple)
+                        && seen.insert((pred.as_str(), tuple.as_slice()), ()).is_none();
+                    (i, if novel { Verdict::Insert } else { Verdict::Dup })
+                })
+                .collect()
+        });
+        let mut verdicts = vec![Verdict::Dup; n];
+        for part in verdict_parts {
+            for (i, v) in part {
+                verdicts[i as usize] = v;
+            }
+        }
+        verdicts
+    }
+}
+
+impl std::fmt::Debug for FactDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut preds = self.predicates();
+        preds.truncate(16);
+        f.debug_struct("FactDb")
+            .field("total", &self.total)
+            .field("predicates", &preds)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(db: &FactDb, pred: &str, positions: &[usize], key: &[u64], range: Range<usize>) -> Vec<u32> {
+        let rel = db.rel(pred).unwrap();
+        rel.lookup(positions, key, &range, db.pool().classes()).collect()
+    }
+
+    #[test]
+    fn dedup_matches_value_equality() {
+        let mut db = FactDb::new();
+        assert!(db.insert("p", vec![Value::Int(1), Value::Int(2)]).unwrap());
+        // Float(1.0) == Int(1): the columnar store must reject it like the
+        // old row-oriented FxHashSet<Vec<Value>> did.
+        assert!(!db.insert("p", vec![Value::Float(1.0), Value::Int(2)]).unwrap());
+        assert!(db.contains("p", &[Value::Float(1.0), Value::Float(2.0)]));
+        assert_eq!(db.len("p"), 1);
+        assert_eq!(db.facts("p"), vec![vec![Value::Int(1), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn dedup_table_survives_growth() {
+        let mut db = FactDb::new();
+        for i in 0..10_000i64 {
+            assert!(db.insert("p", vec![Value::Int(i), Value::Int(i % 7)]).unwrap());
+        }
+        for i in 0..10_000i64 {
+            assert!(!db.insert("p", vec![Value::Int(i), Value::Int(i % 7)]).unwrap());
+            assert!(db.contains("p", &[Value::Int(i), Value::Int(i % 7)]));
+        }
+        assert!(!db.contains("p", &[Value::Int(3), Value::Int(4)]));
+        assert_eq!(db.total_facts(), 10_000);
+    }
+
+    #[test]
+    fn lookup_index_catches_up_after_inserts() {
+        let mut db = FactDb::new();
+        db.insert("r", vec![Value::Int(1), Value::Int(10)]).unwrap();
+        db.insert("r", vec![Value::Int(2), Value::Int(20)]).unwrap();
+        db.ensure_index("r", &[0]);
+        // New tuples arrive after the index was built...
+        db.insert("r", vec![Value::Int(1), Value::Int(30)]).unwrap();
+        let one = db.pool().lookup(&Value::Int(1)).unwrap();
+        // ...the unindexed tail is still found by the linear fallback...
+        assert_eq!(ids(&db, "r", &[0], &[one], 0..3), vec![0, 2]);
+        // ...and catching the index up folds the tail into the postings.
+        db.ensure_index("r", &[0]);
+        let rel = db.rel("r").unwrap();
+        assert!(matches!(
+            rel.lookup(&[0], &[one], &(0..3), db.pool().classes()),
+            Candidates::Slice(_)
+        ));
+        assert_eq!(ids(&db, "r", &[0], &[one], 0..3), vec![0, 2]);
+    }
+
+    #[test]
+    fn lookup_range_restricts_delta_evaluation() {
+        let mut db = FactDb::new();
+        for i in 0..6i64 {
+            db.insert("r", vec![Value::Int(i % 2), Value::Int(i)]).unwrap();
+        }
+        db.ensure_index("r", &[0]);
+        let zero = db.pool().lookup(&Value::Int(0)).unwrap();
+        // Rows with first column 0 sit at 0, 2, 4; the delta range 2..6
+        // must drop row 0 — via binary search on the ascending postings.
+        assert_eq!(ids(&db, "r", &[0], &[zero], 2..6), vec![2, 4]);
+        assert_eq!(ids(&db, "r", &[0], &[zero], 0..6), vec![0, 2, 4]);
+        assert_eq!(ids(&db, "r", &[0], &[zero], 5..6), Vec::<u32>::new());
+        // An empty key set enumerates the range itself.
+        assert_eq!(ids(&db, "r", &[], &[], 2..4), vec![2, 3]);
+    }
+
+    #[test]
+    fn lookup_keeps_differing_position_sets_isolated() {
+        let mut db = FactDb::new();
+        db.insert("r", vec![Value::Int(1), Value::Int(2)]).unwrap();
+        db.insert("r", vec![Value::Int(2), Value::Int(1)]).unwrap();
+        db.ensure_index("r", &[0]);
+        db.ensure_index("r", &[1]);
+        db.ensure_index("r", &[0, 1]);
+        let one = db.pool().lookup(&Value::Int(1)).unwrap();
+        let two = db.pool().lookup(&Value::Int(2)).unwrap();
+        assert_eq!(ids(&db, "r", &[0], &[one], 0..2), vec![0]);
+        assert_eq!(ids(&db, "r", &[1], &[one], 0..2), vec![1]);
+        assert_eq!(ids(&db, "r", &[0, 1], &[one, two], 0..2), vec![0]);
+        assert_eq!(ids(&db, "r", &[0, 1], &[two, two], 0..2), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn stored_tuples_keep_their_numeric_representation() {
+        // Interning must not bleed representations across tuples: a Float
+        // interned first elsewhere must not rewrite a later Int fact (a
+        // downstream `mod` would suddenly type-error). Caught originally by
+        // the differential fuzzer.
+        let mut db = FactDb::new();
+        db.insert("a", vec![Value::Float(3.0)]).unwrap();
+        db.insert("b", vec![Value::Int(3)]).unwrap();
+        assert_eq!(db.facts("a")[0][0].value_type(), kgm_common::ValueType::Float);
+        assert_eq!(db.facts("b")[0][0].value_type(), kgm_common::ValueType::Int);
+        // Joins and dedup still see them as equal.
+        assert!(db.contains("a", &[Value::Int(3)]));
+        assert!(!db.insert("b", vec![Value::Float(3.0)]).unwrap());
+    }
+
+    #[test]
+    fn index_lookups_match_across_numeric_representations() {
+        let mut db = FactDb::new();
+        db.insert("r", vec![Value::Float(1.0), Value::Int(10)]).unwrap();
+        db.insert("r", vec![Value::Int(1), Value::Int(20)]).unwrap();
+        db.insert("r", vec![Value::Int(2), Value::Int(30)]).unwrap();
+        db.ensure_index("r", &[0]);
+        // Probing with either representation finds both rows keyed by the
+        // shared equality class.
+        let k_int = db.pool().lookup(&Value::Int(1)).unwrap();
+        let k_float = db.pool().lookup(&Value::Float(1.0)).unwrap();
+        assert_eq!(k_int, k_float, "lookup is class-keyed");
+        assert_eq!(ids(&db, "r", &[0], &[k_int], 0..3), vec![0, 1]);
+    }
+
+    #[test]
+    fn facts_iter_variants_stream_in_insertion_order() {
+        let mut db = FactDb::new();
+        db.add_facts(
+            "p",
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(3)],
+            ],
+        )
+        .unwrap();
+        let all: Vec<Vec<Value>> = db.facts_iter("p").collect();
+        assert_eq!(all, db.facts("p"));
+        let tail: Vec<Vec<Value>> = db.facts_after_iter("p", 2).collect();
+        assert_eq!(tail, vec![vec![Value::Int(3)]]);
+        assert_eq!(db.facts_after("p", 1).len(), 2);
+        assert_eq!(db.facts_iter("absent").count(), 0);
+        assert_eq!(db.facts_after_iter("p", 99).count(), 0);
+    }
+
+    #[test]
+    fn batch_verdicts_are_partition_count_invariant() {
+        let mut db = FactDb::new();
+        db.insert("p", vec![Value::Int(0)]).unwrap();
+        let batch: Vec<(String, Vec<Value>)> = (0..64)
+            .map(|i| ("p".to_string(), vec![Value::Int((i % 10) as i64)]))
+            .collect();
+        let v1 = db.insert_batch_verdicts(&batch, 1);
+        for parts in [2, 3, 8, 64] {
+            assert_eq!(db.insert_batch_verdicts(&batch, parts), v1, "parts={parts}");
+        }
+        // Int(0) pre-exists; 1..=9 insert exactly once each, at their first
+        // occurrence in batch order.
+        let inserts: Vec<usize> = v1
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v == Verdict::Insert)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(inserts, (1..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn approx_bytes_reflects_columnar_footprint() {
+        let mut db = FactDb::new();
+        let empty = db.approx_bytes();
+        for i in 0..10_000i64 {
+            db.insert("p", vec![Value::Int(i), Value::Int(i + 1), Value::Int(i + 2)])
+                .unwrap();
+        }
+        let grown = db.approx_bytes();
+        // 10k rows × 3 columns × 8 bytes = 240kB of columns alone; the old
+        // proxy would have claimed ~1.4MB for Value-sized rows stored twice.
+        assert!(grown > empty + 240_000, "{empty} -> {grown}");
+        assert!(grown < 4_000_000, "columnar accounting exploded: {grown}");
+    }
+}

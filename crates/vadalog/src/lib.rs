@@ -47,6 +47,7 @@ pub mod ast;
 pub mod bindings;
 pub mod engine;
 pub mod eval;
+pub mod factdb;
 pub mod genprog;
 pub mod oracle;
 pub mod parser;
@@ -63,6 +64,9 @@ pub use engine::{
     Termination,
 };
 pub use genprog::{GenCase, GenConfig};
-pub use oracle::{canonical_diff, canonical_facts, isomorphic, naive_chase, OracleConfig};
+pub use oracle::{
+    canonical_diff, canonical_diff_oracle, canonical_facts, canonical_facts_rows,
+    isomorphic, naive_chase, OracleConfig, RowDb,
+};
 pub use parser::parse_program;
 pub use printer::to_source;

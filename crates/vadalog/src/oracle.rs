@@ -35,8 +35,107 @@ use crate::ast::{Aggregate, AggregateFunc, BinOp, Program, Rule, RuleStep, Term,
 use crate::engine::FactDb;
 use crate::eval::{bin, eval, EvalCtx};
 use kgm_common::{
-    FxHashMap, KgmError, Oid, OidGen, OidSpace, Result, SkolemRegistry, Value,
+    FxHashMap, FxHashSet, KgmError, Oid, OidGen, OidSpace, Result, SkolemRegistry, Value,
 };
+
+/// A deliberately row-oriented fact store: one `Vec<Vec<Value>>` per
+/// predicate in insertion order, deduplicated through an `FxHashSet` that
+/// stores every tuple a second time — exactly the physical layout
+/// [`FactDb`] had before it went columnar. The oracle keeps it on purpose:
+/// with the engine on packed per-column ids and the oracle on plain value
+/// rows, the differential suite compares two independent *physical
+/// representations*, not just two evaluation strategies, so an interning or
+/// packing bug cannot cancel out of the comparison.
+#[derive(Default, Debug)]
+pub struct RowDb {
+    rels: FxHashMap<String, RowRel>,
+    total: usize,
+}
+
+#[derive(Debug)]
+struct RowRel {
+    arity: usize,
+    tuples: Vec<Vec<Value>>,
+    set: FxHashSet<Vec<Value>>,
+}
+
+impl RowDb {
+    pub fn new() -> RowDb {
+        RowDb::default()
+    }
+
+    /// Insert one fact; returns `true` if it was new. Duplicates are decided
+    /// by `Value` equality (`Int(1) == Float(1.0)`), first insert wins —
+    /// the contract the columnar store must reproduce.
+    pub fn insert(&mut self, predicate: &str, tuple: Vec<Value>) -> Result<bool> {
+        let rel = self
+            .rels
+            .entry(predicate.to_string())
+            .or_insert_with(|| RowRel {
+                arity: tuple.len(),
+                tuples: Vec::new(),
+                set: FxHashSet::default(),
+            });
+        if rel.arity != tuple.len() {
+            return Err(KgmError::Schema(format!(
+                "predicate `{predicate}` has arity {}, got tuple of length {}",
+                rel.arity,
+                tuple.len()
+            )));
+        }
+        if !rel.set.insert(tuple.clone()) {
+            return Ok(false);
+        }
+        rel.tuples.push(tuple);
+        self.total += 1;
+        Ok(true)
+    }
+
+    /// Bulk insert.
+    pub fn add_facts(&mut self, predicate: &str, tuples: Vec<Vec<Value>>) -> Result<usize> {
+        let mut n = 0;
+        for t in tuples {
+            if self.insert(predicate, t)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// The facts of `predicate` in insertion order (empty if unknown). Row
+    /// layout makes this a plain borrow.
+    pub fn facts(&self, predicate: &str) -> &[Vec<Value>] {
+        self.rels.get(predicate).map_or(&[], |r| &r.tuples)
+    }
+
+    /// Exact containment test.
+    pub fn contains(&self, predicate: &str, tuple: &[Value]) -> bool {
+        self.rels
+            .get(predicate)
+            .is_some_and(|r| r.set.contains(tuple))
+    }
+
+    /// Number of facts for `predicate`.
+    pub fn len(&self, predicate: &str) -> usize {
+        self.rels.get(predicate).map_or(0, |r| r.tuples.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total fact count across predicates.
+    pub fn total_facts(&self) -> usize {
+        self.total
+    }
+
+    /// All predicate names, sorted.
+    pub fn predicates(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.rels.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
 
 /// Safety caps for the oracle. The naive chase has no governor, deadline,
 /// or cancellation — these two limits exist only so a buggy generated
@@ -106,7 +205,7 @@ struct OracleMeta {
 }
 
 /// Run the naive chase over `program` with default safety caps.
-pub fn naive_chase(program: &Program) -> Result<FactDb> {
+pub fn naive_chase(program: &Program) -> Result<RowDb> {
     naive_chase_with(program, &[], &OracleConfig::default())
 }
 
@@ -118,9 +217,9 @@ pub fn naive_chase_with(
     program: &Program,
     inputs: &[(&str, Vec<Vec<Value>>)],
     config: &OracleConfig,
-) -> Result<FactDb> {
+) -> Result<RowDb> {
     let analysis = ProgramAnalysis::analyze(program)?;
-    let mut db = FactDb::new();
+    let mut db = RowDb::new();
     for (pred, tuples) in inputs {
         db.add_facts(pred, tuples.clone())?;
     }
@@ -245,7 +344,7 @@ pub fn naive_chase_with(
 /// written atom order, with no indexes: for each tuple of atom `ai` that
 /// is consistent with the binding so far, recurse into atom `ai + 1`.
 fn enumerate(
-    db: &FactDb,
+    db: &RowDb,
     rule: &Rule,
     ai: usize,
     binding: &mut Vec<Option<Value>>,
@@ -255,9 +354,6 @@ fn enumerate(
         return on_match(binding);
     }
     let atom = &rule.body[ai];
-    // Snapshot the relation: `on_match` only reads `db`, but taking owned
-    // tuples keeps the recursion free of aliasing gymnastics — the oracle
-    // optimizes for obviousness, not allocation counts.
     for tuple in db.facts(&atom.predicate) {
         if tuple.len() != atom.terms.len() {
             return Err(KgmError::Schema(format!(
@@ -308,7 +404,7 @@ fn enumerate(
 /// only emits when its running value moves.
 #[allow(clippy::too_many_arguments)]
 fn fire(
-    db: &FactDb,
+    db: &RowDb,
     ri: usize,
     rule: &Rule,
     meta: &OracleMeta,
@@ -492,7 +588,7 @@ fn emit_heads(
 /// contributor key wins, insertion order preserved), fold each group, then
 /// run post-aggregate steps and emit heads once per group.
 fn eval_exact_rule(
-    db: &FactDb,
+    db: &RowDb,
     ri: usize,
     rule: &Rule,
     meta: &OracleMeta,
@@ -732,9 +828,26 @@ pub fn canonical_facts(db: &FactDb) -> Vec<String> {
     let mut facts: Vec<(String, Vec<Value>)> = Vec::new();
     for pred in db.predicates() {
         for tuple in db.facts_iter(&pred) {
-            facts.push((pred.clone(), tuple.to_vec()));
+            facts.push((pred.clone(), tuple));
         }
     }
+    canonical_lines(facts)
+}
+
+/// [`canonical_facts`] for the oracle's row-oriented store.
+pub fn canonical_facts_rows(db: &RowDb) -> Vec<String> {
+    let mut facts: Vec<(String, Vec<Value>)> = Vec::new();
+    for pred in db.predicates() {
+        for tuple in db.facts(&pred) {
+            facts.push((pred.clone(), tuple.clone()));
+        }
+    }
+    canonical_lines(facts)
+}
+
+/// The greedy canonical labelling over a flat fact dump — shared by both
+/// storage representations so their canonical forms are directly comparable.
+fn canonical_lines(mut facts: Vec<(String, Vec<Value>)>) -> Vec<String> {
     let mut assigned: FxHashMap<Oid, usize> = FxHashMap::default();
     let mut next: [usize; 3] = [0; 3];
     let mut lines: Vec<String> = Vec::with_capacity(facts.len());
@@ -779,8 +892,16 @@ pub fn isomorphic(a: &FactDb, b: &FactDb) -> bool {
 /// `None` when isomorphic; otherwise a report of the canonical fact lines
 /// present on only one side (`-` = only in `a`, `+` = only in `b`).
 pub fn canonical_diff(a: &FactDb, b: &FactDb) -> Option<String> {
-    let ca = canonical_facts(a);
-    let cb = canonical_facts(b);
+    lines_diff(canonical_facts(a), canonical_facts(b))
+}
+
+/// [`canonical_diff`] between the row-oriented oracle store (`-` side) and
+/// an engine [`FactDb`] (`+` side) — the differential suite's comparison.
+pub fn canonical_diff_oracle(a: &RowDb, b: &FactDb) -> Option<String> {
+    lines_diff(canonical_facts_rows(a), canonical_facts(b))
+}
+
+fn lines_diff(ca: Vec<String>, cb: Vec<String>) -> Option<String> {
     if ca == cb {
         return None;
     }
@@ -813,7 +934,7 @@ mod tests {
         let engine = Engine::new(parse_program(src).unwrap()).unwrap();
         let mut engine_db = FactDb::new();
         engine.run(&mut engine_db).unwrap();
-        if let Some(diff) = canonical_diff(&oracle_db, &engine_db) {
+        if let Some(diff) = canonical_diff_oracle(&oracle_db, &engine_db) {
             panic!("oracle and engine disagree on:\n{src}\n{diff}");
         }
     }
@@ -868,6 +989,34 @@ mod tests {
              own(X,Y,W) -> control(X,X).\n\
              control(X,Z), own(Z,Y,W), V = msum(W, <Z>), V > 0.5 -> control(X,Y).",
         );
+    }
+
+    #[test]
+    fn row_store_dedups_by_value_equality_first_insert_wins() {
+        let mut db = RowDb::new();
+        assert!(db.insert("p", vec![Value::Int(1)]).unwrap());
+        assert!(!db.insert("p", vec![Value::Float(1.0)]).unwrap());
+        assert!(db.contains("p", &[Value::Float(1.0)]));
+        assert_eq!(db.facts("p"), &[vec![Value::Int(1)]]);
+        assert_eq!(db.total_facts(), 1);
+        assert!(db.insert("p", vec![Value::Int(1), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn cross_representation_diff_matches_equal_stores() {
+        let mut rows = RowDb::new();
+        let mut cols = FactDb::new();
+        for db_insert in [
+            ("p", vec![Value::Int(1), Value::str("x")]),
+            ("q", vec![Value::Oid(Oid::new(OidSpace::Null, 5))]),
+        ] {
+            rows.insert(db_insert.0, db_insert.1.clone()).unwrap();
+            cols.insert(db_insert.0, db_insert.1).unwrap();
+        }
+        assert_eq!(canonical_diff_oracle(&rows, &cols), None);
+        cols.insert("p", vec![Value::Int(2), Value::str("y")]).unwrap();
+        let diff = canonical_diff_oracle(&rows, &cols).unwrap();
+        assert!(diff.contains("+ p(I:2, S:y)"), "{diff}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! ```text
 //! run|<strata>|<iterations>|<derived>|<nulls>|<duplicates>|<elapsed_ms>
 //! term|<termination>|<stopped_stratum>|<stopped_iteration>|<cancel_polls>|<faults_injected>
-//! par|<shards_spawned>|<worker_candidates>|<merge_dedup_hits>
+//! par|<shards_spawned>|<worker_candidates>|<merge_dedup_hits>|<merge_partitions>
 //! stratum|<idx>|<iterations>|<derived>|<duplicates>|<nulls>|<elapsed_ms>
 //! rule|<idx>|<head>|<evals>|<delta_evals>|<bindings>|<emitted>|<elapsed_ms>
 //! ```
@@ -44,10 +44,11 @@ impl RunStats {
             self.profile.faults_injected,
         ));
         out.push_str(&format!(
-            "par|{}|{}|{}\n",
+            "par|{}|{}|{}|{}\n",
             self.profile.shards_spawned,
             self.profile.worker_candidates,
             self.profile.merge_dedup_hits,
+            self.profile.merge_partitions,
         ));
         for s in &self.profile.strata {
             out.push_str(&format!(
@@ -140,9 +141,9 @@ impl RunStats {
                     profile.faults_injected = num(fields[5])?;
                 }
                 "par" => {
-                    if fields.len() != 4 {
+                    if fields.len() != 5 {
                         return Err(bad(&format!(
-                            "expected 4 fields, got {}",
+                            "expected 5 fields, got {}",
                             fields.len()
                         )));
                     }
@@ -152,6 +153,7 @@ impl RunStats {
                     profile.shards_spawned = num(fields[1])?;
                     profile.worker_candidates = num(fields[2])?;
                     profile.merge_dedup_hits = num(fields[3])?;
+                    profile.merge_partitions = num(fields[4])?;
                 }
                 "stratum" => {
                     let n = nums(1, 7)?;
@@ -240,6 +242,7 @@ mod tests {
                 shards_spawned: 12,
                 worker_candidates: 90,
                 merge_dedup_hits: 11,
+                merge_partitions: 4,
                 cancel_polls: 6,
                 faults_injected: 0,
             },
@@ -259,7 +262,7 @@ mod tests {
         let text = sample().to_text();
         assert!(
             text.starts_with(
-                "run|2|5|42|3|7|1.500\nterm|complete|1|2|6|0\npar|12|90|11\n"
+                "run|2|5|42|3|7|1.500\nterm|complete|1|2|6|0\npar|12|90|11|4\n"
             ),
             "{text}"
         );

@@ -1,6 +1,6 @@
 //! Property suite for the parallel sharded chase: over randomly generated
-//! warded programs and fact sets, a `KGM_THREADS=4`-shaped run (`threads: 4`,
-//! `min_parallel_batch: 1` so even tiny deltas shard) must produce a
+//! warded programs and fact sets, `KGM_THREADS=4`- and `KGM_THREADS=8`-shaped
+//! runs (`min_parallel_batch: 1` so even tiny deltas shard) must produce a
 //! [`FactDb`] bit-identical to the sequential `KGM_THREADS=1` run — the same
 //! facts in the same insertion order, the same labelled-null OIDs, and the
 //! same stratum/iteration schedule. The suite pins `threads` through
@@ -99,24 +99,28 @@ fn sharded_chase_matches_sequential_on_generated_programs() {
         shrink_case,
         |(template, edges)| -> CaseResult {
             let (seq_db, seq_stats) = run_case(*template, edges, 1);
-            let (par_db, par_stats) = run_case(*template, edges, 4);
-            prop_assert_eq!(fingerprint(&seq_db), fingerprint(&par_db));
-            prop_assert_eq!(seq_stats.derived_facts, par_stats.derived_facts);
-            prop_assert_eq!(seq_stats.nulls_created, par_stats.nulls_created);
-            prop_assert_eq!(
-                seq_stats.duplicates_rejected,
-                par_stats.duplicates_rejected
-            );
-            // The stratum schedule (order, per-stratum iteration and
-            // derivation counts) must be untouched by sharding.
-            let schedule = |s: &RunStats| {
-                s.profile
-                    .strata
-                    .iter()
-                    .map(|st| (st.stratum, st.iterations, st.derived_facts, st.nulls_minted))
-                    .collect::<Vec<_>>()
-            };
-            prop_assert_eq!(schedule(&seq_stats), schedule(&par_stats));
+            for threads in [4usize, 8] {
+                let (par_db, par_stats) = run_case(*template, edges, threads);
+                prop_assert_eq!(fingerprint(&seq_db), fingerprint(&par_db));
+                prop_assert_eq!(seq_stats.derived_facts, par_stats.derived_facts);
+                prop_assert_eq!(seq_stats.nulls_created, par_stats.nulls_created);
+                prop_assert_eq!(
+                    seq_stats.duplicates_rejected,
+                    par_stats.duplicates_rejected
+                );
+                // The stratum schedule (order, per-stratum iteration and
+                // derivation counts) must be untouched by sharding.
+                let schedule = |s: &RunStats| {
+                    s.profile
+                        .strata
+                        .iter()
+                        .map(|st| {
+                            (st.stratum, st.iterations, st.derived_facts, st.nulls_minted)
+                        })
+                        .collect::<Vec<_>>()
+                };
+                prop_assert_eq!(schedule(&seq_stats), schedule(&par_stats));
+            }
             // And the sequential baseline must really be sequential.
             prop_assert_eq!(seq_stats.profile.shards_spawned, 0);
             Ok(())
@@ -136,7 +140,9 @@ fn thread_count_is_invisible_across_widths() {
         |(template, edges)| -> CaseResult {
             let (db2, _) = run_case(*template, edges, 2);
             let (db7, _) = run_case(*template, edges, 7);
+            let (db8, _) = run_case(*template, edges, 8);
             prop_assert_eq!(fingerprint(&db2), fingerprint(&db7));
+            prop_assert_eq!(fingerprint(&db2), fingerprint(&db8));
             Ok(())
         },
     );

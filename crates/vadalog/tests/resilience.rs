@@ -57,8 +57,8 @@ fn fingerprint(db: &FactDb) -> String {
 /// same predicate in `complete` — the graceful-degradation contract.
 fn assert_prefix(partial: &FactDb, complete: &FactDb) {
     for p in partial.predicates() {
-        let got: Vec<&[Value]> = partial.facts_iter(&p).collect();
-        let full: Vec<&[Value]> = complete.facts_iter(&p).collect();
+        let got: Vec<Vec<Value>> = partial.facts_iter(&p).collect();
+        let full: Vec<Vec<Value>> = complete.facts_iter(&p).collect();
         assert!(
             got.len() <= full.len(),
             "predicate {p}: partial has {} facts, complete only {}",

@@ -8,6 +8,9 @@
 #    run report and refresh the repo-root BENCH_*.json perf trajectory.
 #
 # Usage: scripts/ci.sh [--skip-tests]
+#
+# KGM_SCALE_SMOKE=1 additionally runs a 100k-node registry chase and
+# requires the 1-thread and 8-thread outputs to be identical (adds ~2s).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -98,10 +101,11 @@ esac
 echo "ok: deadline degrades gracefully; injected faults fail structurally"
 
 echo "== differential conformance smoke =="
-# Fixed-seed differential run: naive oracle vs the optimized engine, with
-# the engine forced through both the sequential and the sharded-parallel
-# path (the suite itself compares 1/2/4 worker threads per case; the
-# KGM_THREADS values exercise both defaults of the ambient config).
+# Fixed-seed differential run: row-oriented naive oracle vs the columnar
+# engine, with the engine forced through both the sequential and the
+# sharded-parallel path (the suite itself compares 1/2/8 worker threads per
+# case; the KGM_THREADS values exercise both defaults of the ambient
+# config).
 for threads in 1 4; do
     KGM_PROP_SEED=20220046 KGM_PROP_CASES=64 KGM_THREADS=$threads \
         cargo test --release --offline -q -p kgm-vadalog \
@@ -134,6 +138,17 @@ cargo run --release --offline -q -p kgm-bench --bin paper-harness -- \
     validate-json target/paper-artifacts/run_report_e7.json \
     BENCH_chase.json BENCH_control_pipeline.json
 echo "ok: run report + BENCH mirrors written and valid"
+
+if [ "${KGM_SCALE_SMOKE:-0}" = "1" ]; then
+    echo "== registry-scale smoke (KGM_SCALE_SMOKE=1) =="
+    # 100k-node shareholding graph through the company-control chase at
+    # 1 vs 8 worker threads; paper-harness exits non-zero unless the two
+    # runs produce identical control relations (order-independent digest),
+    # derived-fact counts, and null counts. This is the partitioned-merge
+    # determinism gate at a scale the unit suites never reach.
+    "$harness" scale-smoke 100000
+    echo "ok: 100k-node chase output identical at 1 and 8 threads"
+fi
 
 echo "== parallel chase determinism smoke =="
 # The sharded chase guarantees bit-identical output for any KGM_THREADS;
