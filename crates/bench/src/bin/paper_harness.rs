@@ -25,7 +25,8 @@
 //!                              # e7 additionally refreshes the repo-root
 //!                              # BENCH_chase.json / BENCH_control_pipeline.json
 //! paper-harness e7 --trace     # force the JSONL trace sink on
-//!                              # (target/kgm-trace/trace-<pid>.jsonl)
+//!                              # (target/kgm-trace/trace-<pid>-<n>.jsonl,
+//!                              # run-unique even across pid recycling)
 //! paper-harness e7 --threads 4 # pin the chase worker count for the whole
 //!                              # run (sets KGM_THREADS; output is
 //!                              # bit-identical for any value)
@@ -37,6 +38,16 @@
 //!                                     # the outputs diverge (CI gate for
 //!                                     # the partitioned merge; default
 //!                                     # 100000 nodes)
+//! paper-harness explain [nodes] [x y] # run company control with
+//!                                     # why-provenance on over the seeded
+//!                                     # registry and print the derivation
+//!                                     # tree of controls(x, y) (or, with no
+//!                                     # pair, of the deepest control fact)
+//! paper-harness prov-smoke [nodes]    # CI gate for why-provenance: the
+//!                                     # provenance-on chase at 1 and 4
+//!                                     # worker threads must produce the
+//!                                     # exact fact set of the provenance-off
+//!                                     # run, with identical edge counts
 //! ```
 //!
 //! The `--profile` bench refresh additionally honours `KGM_BENCH_NODES`:
@@ -50,8 +61,9 @@
 use kgm_bench::*;
 use kgm_common::{KgmError, Result};
 use kgm_core::intensional::MaterializationMode;
-use kgm_finance::control::{control_vadalog, control_vadalog_threads};
+use kgm_finance::control::{control_vadalog, control_vadalog_prov, control_vadalog_threads};
 use kgm_runtime::telemetry;
+use kgm_vadalog::{explain, render, EngineConfig, FactDb};
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -162,6 +174,24 @@ fn refresh_bench_reports() {
         );
         group.finish();
     }
+    // The same chase with why-provenance recording on: the gap between this
+    // row and `chase/control_vadalog` is the ProvStore overhead, which CI
+    // pins below 2×.
+    {
+        let mut group = criterion.benchmark_group("chase/control_vadalog_prov");
+        group.sample_size(5);
+        group.bench_with_input(
+            kgm_runtime::bench::BenchmarkId::from_parameter(400),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    control_vadalog_prov(g, EngineConfig::default().threads)
+                        .expect("chase bench")
+                })
+            },
+        );
+        group.finish();
+    }
     // 1-vs-4-vs-8 wall-clock for the sharded chase, at `KGM_BENCH_NODES`
     // scale (default: the legacy 400 companies, so a plain `--profile` run
     // stays quick; the committed registry-scale rows are produced with
@@ -260,6 +290,150 @@ fn run_scale_smoke(nodes: usize) -> Result<ExitCode> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Non-reflexive `(controller, controlled)` payload pairs from a chased
+/// control database — the prov-on counterpart of what
+/// [`control_vadalog_threads`] returns.
+fn control_pairs(db: &FactDb) -> kgm_common::FxHashSet<(u64, u64)> {
+    let mut out = kgm_common::FxHashSet::default();
+    for t in db.facts_iter("controls") {
+        let (Some(a), Some(b)) = (t[0].as_oid(), t[1].as_oid()) else {
+            continue;
+        };
+        if a != b {
+            out.insert((a.payload(), b.payload()));
+        }
+    }
+    out
+}
+
+/// `explain [nodes] [x y]` — answer "why does company x control company y?"
+/// over the seeded synthetic registry: run Example 4.2 with provenance on
+/// and print the derivation tree of `controls(#x, #y)`. Without a pair, the
+/// non-reflexive control fact with the largest derivation tree (smallest
+/// payload pair on ties) is explained — output is deterministic either way.
+fn run_explain(args: &[String]) -> Result<ExitCode> {
+    let nodes = args.first().and_then(|s| s.parse().ok()).unwrap_or(400);
+    let target: Option<(u64, u64)> = match (args.get(1), args.get(2)) {
+        (Some(x), Some(y)) => {
+            let parse = |s: &String| -> Result<u64> {
+                s.trim_start_matches('#').parse().map_err(|_| {
+                    KgmError::Internal(format!("explain: `{s}` is not a node payload"))
+                })
+            };
+            Some((parse(x)?, parse(y)?))
+        }
+        _ => None,
+    };
+    let g = bench_graph(nodes);
+    let (engine, db, stats) = control_vadalog_prov(&g, EngineConfig::default().threads)?;
+    println!(
+        "explain: {nodes} nodes, {} control facts, {} provenance edges ({} parent refs)",
+        db.facts_iter("controls").count(),
+        stats.profile.prov_edges,
+        stats.profile.prov_parents,
+    );
+    let mut best: Option<(usize, (u64, u64), Vec<kgm_common::Value>)> = None;
+    for t in db.facts_iter("controls") {
+        let (Some(a), Some(b)) = (t[0].as_oid(), t[1].as_oid()) else {
+            continue;
+        };
+        let pair = (a.payload(), b.payload());
+        if let Some(want) = target {
+            if pair == want {
+                best = Some((0, pair, t));
+                break;
+            }
+            continue;
+        }
+        if a == b {
+            continue;
+        }
+        let tree = explain(&db, "controls", &t).expect("listed fact explains");
+        let key = (tree.node_count(), pair);
+        let better = match &best {
+            None => true,
+            Some((n, p, _)) => key.0 > *n || (key.0 == *n && key.1 < *p),
+        };
+        if better {
+            best = Some((key.0, key.1, t));
+        }
+    }
+    let Some((_, pair, tuple)) = best else {
+        if let Some((x, y)) = target {
+            eprintln!("explain: controls(#{x}, #{y}) was not derived");
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("explain: no non-reflexive control facts derived at this scale");
+        return Ok(ExitCode::SUCCESS);
+    };
+    let tree = explain(&db, "controls", &tuple).expect("selected fact explains");
+    println!(
+        "\nwhy does #{} control #{}? ({} nodes, depth {})\n",
+        pair.0,
+        pair.1,
+        tree.node_count(),
+        tree.depth()
+    );
+    print!("{}", render(&tree, engine.program()));
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `prov-smoke [nodes]` — the CI gate for why-provenance: recording must be
+/// a pure sidecar. The provenance-on chase at 1 and 4 worker threads must
+/// produce a fact set bit-identical (digest, derived-fact count, null
+/// count) to the provenance-off baseline, with identical edge counts at
+/// both thread counts, and the baseline itself must record no edges.
+fn run_prov_smoke(nodes: usize) -> Result<ExitCode> {
+    let g = bench_graph(nodes);
+    println!("prov-smoke: {nodes} nodes, {} OWNS edges", g.edge_count());
+    let (base, base_stats) = control_vadalog_threads(&g, 1)?;
+    let d0 = control_digest(&base);
+    println!(
+        "  off t1: {} control pairs, {} derived facts, digest {d0:016x}",
+        base.len(),
+        base_stats.derived_facts,
+    );
+    if base_stats.profile.prov_edges != 0 {
+        eprintln!(
+            "prov-smoke: provenance-off run recorded {} edges",
+            base_stats.profile.prov_edges
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    let mut edge_counts: Vec<usize> = Vec::new();
+    for t in [1usize, 4] {
+        let (_, db, stats) = control_vadalog_prov(&g, t)?;
+        let pairs = control_pairs(&db);
+        let d = control_digest(&pairs);
+        println!(
+            "  on  t{t}: {} control pairs, {} derived facts, digest {d:016x}, \
+             {} edges / {} parent refs",
+            pairs.len(),
+            stats.derived_facts,
+            stats.profile.prov_edges,
+            stats.profile.prov_parents,
+        );
+        if d != d0
+            || stats.derived_facts != base_stats.derived_facts
+            || stats.nulls_created != base_stats.nulls_created
+        {
+            eprintln!("prov-smoke: provenance-on t{t} diverged from the off baseline");
+            return Ok(ExitCode::FAILURE);
+        }
+        if stats.profile.prov_edges == 0 {
+            eprintln!("prov-smoke: provenance-on t{t} recorded no edges");
+            return Ok(ExitCode::FAILURE);
+        }
+        edge_counts.push(stats.profile.prov_edges);
+    }
+    if edge_counts.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("prov-smoke: edge counts differ across thread counts: {edge_counts:?}");
+        return Ok(ExitCode::FAILURE);
+    }
+    println!("prov-smoke: provenance is a pure sidecar at every thread count");
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Assemble the machine-readable run report: captured span trees plus the
 /// global metrics snapshot.
 fn run_report_json(cmd: &str, spans: &[telemetry::SpanNode]) -> String {
@@ -336,6 +510,13 @@ fn run_cli() -> Result<ExitCode> {
     if cmd == "scale-smoke" {
         let nodes = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
         return run_scale_smoke(nodes);
+    }
+    if cmd == "explain" {
+        return run_explain(&args[1..]);
+    }
+    if cmd == "prov-smoke" {
+        let nodes = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+        return run_prov_smoke(nodes);
     }
     if trace {
         telemetry::force_trace(true);

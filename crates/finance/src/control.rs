@@ -58,6 +58,23 @@ pub fn control_vadalog_threads(
         },
     )?;
     let mut db = FactDb::new();
+    load_shareholding(g, &mut db)?;
+    let stats = engine.run(&mut db)?;
+    let mut out = FxHashSet::default();
+    for t in db.facts_iter("controls") {
+        let (Some(a), Some(b)) = (t[0].as_oid(), t[1].as_oid()) else {
+            continue;
+        };
+        if a != b {
+            out.insert((a.payload(), b.payload()));
+        }
+    }
+    Ok((out, stats))
+}
+
+/// Load the Example 4.2 EDB — `company/1` and `own/3` — from a shareholding
+/// graph into `db`.
+pub fn load_shareholding(g: &PropertyGraph, db: &mut FactDb) -> Result<()> {
     let companies: Vec<Vec<Value>> = g
         .nodes_with_label("Business")
         .into_iter()
@@ -82,17 +99,29 @@ pub fn control_vadalog_threads(
         })
         .collect();
     db.add_facts("own", own)?;
+    Ok(())
+}
+
+/// Run Example 4.2 with why-provenance recording on and return the engine
+/// and the full database, so callers can [`kgm_vadalog::explain`] any
+/// `controls` fact. The fact set is bit-identical to the provenance-off run
+/// at any worker count; only the `ProvStore` sidecar is extra.
+pub fn control_vadalog_prov(
+    g: &PropertyGraph,
+    threads: usize,
+) -> Result<(Engine, FactDb, RunStats)> {
+    let engine = Engine::with_config(
+        parse_program(CONTROL_VADALOG)?,
+        EngineConfig {
+            threads,
+            provenance: true,
+            ..Default::default()
+        },
+    )?;
+    let mut db = FactDb::new();
+    load_shareholding(g, &mut db)?;
     let stats = engine.run(&mut db)?;
-    let mut out = FxHashSet::default();
-    for t in db.facts_iter("controls") {
-        let (Some(a), Some(b)) = (t[0].as_oid(), t[1].as_oid()) else {
-            continue;
-        };
-        if a != b {
-            out.insert((a.payload(), b.payload()));
-        }
-    }
-    Ok((out, stats))
+    Ok((engine, db, stats))
 }
 
 /// Independent ground-truth algorithm: for each company `x`, grow the set
@@ -198,6 +227,30 @@ mod tests {
         let (v4, _) = control_vadalog_threads(&g, 4).unwrap();
         assert_eq!(v1, v4, "worker count must not change the answer");
         assert_eq!(v1, baseline_control(&g));
+    }
+
+    #[test]
+    fn prov_run_matches_plain_run_and_explains_control() {
+        let g = tiny();
+        let (plain, _) = control_vadalog_threads(&g, 1).unwrap();
+        let (engine, db, stats) = control_vadalog_prov(&g, 4).unwrap();
+        assert!(stats.profile.prov_edges > 0, "provenance was recorded");
+        let mut prov = FxHashSet::default();
+        for t in db.facts_iter("controls") {
+            let (a, b) = (t[0].as_oid().unwrap(), t[1].as_oid().unwrap());
+            if a != b {
+                prov.insert((a.payload(), b.payload()));
+            }
+        }
+        assert_eq!(prov, plain, "provenance must not change the answer");
+        // The joint-control fact a⊳c explains down to EDB own/company leaves.
+        for t in db.facts_iter("controls") {
+            let tree = kgm_vadalog::explain(&db, "controls", &t).unwrap();
+            if t[0] != t[1] {
+                assert!(tree.rule.is_some(), "derived control facts carry an edge");
+            }
+            let _ = kgm_vadalog::render(&tree, engine.program());
+        }
     }
 
     #[test]

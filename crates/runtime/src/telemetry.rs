@@ -454,9 +454,35 @@ pub fn trace_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target").join("kgm-trace"))
 }
 
-/// The per-process trace file path (`trace-<pid>.jsonl`).
+/// Monotonic per-process counter for trace file names. Starts at 0 and
+/// only moves forward, so even if the sink were re-initialized the names
+/// keep advancing.
+static TRACE_SEQ: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+/// Pick a run-unique trace file path in `dir`: `trace-<pid>-<n>.jsonl` for
+/// the first monotonic counter value `n` whose file does not already
+/// exist. Pids recycle, so a bare `trace-<pid>.jsonl` could silently
+/// append to a *previous* process's trace; probing the counter forward
+/// guarantees back-to-back (and concurrent same-pid-namespace) runs each
+/// get a fresh file.
+pub fn unique_trace_path(dir: &std::path::Path, pid: u32) -> PathBuf {
+    loop {
+        let n = TRACE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = dir.join(format!("trace-{pid}-{n}.jsonl"));
+        if !path.exists() {
+            return path;
+        }
+        // Name taken (leftover from a recycled pid): advance and retry. The
+        // counter is u32-bounded, which no real directory approaches.
+    }
+}
+
+/// The trace file path this process will write to (`trace-<pid>-<n>.jsonl`),
+/// chosen once per process on first use.
 pub fn trace_path() -> PathBuf {
-    trace_dir().join(format!("trace-{}.jsonl", std::process::id()))
+    static PATH: OnceLock<PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| unique_trace_path(&trace_dir(), std::process::id()))
+        .clone()
 }
 
 fn write_trace(root: &SpanNode) {
@@ -812,6 +838,48 @@ mod tests {
         let bounds: Vec<u64> = buckets.iter().map(|(b, _)| *b).collect();
         assert_eq!(bounds, vec![0, 1, 3, 7, 15, (1 << 21) - 1]);
         assert_eq!(buckets[2].1, 2, "2 and 3 share a bucket");
+    }
+
+    #[test]
+    fn trace_paths_are_run_unique_even_when_pids_recycle() {
+        let dir = std::env::temp_dir().join(format!(
+            "kgm-trace-test-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Two picks in one process never collide (monotonic counter).
+        let a = unique_trace_path(&dir, 4242);
+        let b = unique_trace_path(&dir, 4242);
+        assert_ne!(a, b);
+        let name = a.file_name().unwrap().to_str().unwrap();
+        assert!(
+            name.starts_with("trace-4242-") && name.ends_with(".jsonl"),
+            "{name}"
+        );
+        // A leftover file from a previous process with a recycled pid must
+        // be skipped, not appended to: pre-create the next candidate names
+        // and check the picked path is fresh.
+        let seq_floor: u32 = b
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .trim_start_matches("trace-4242-")
+            .trim_end_matches(".jsonl")
+            .parse()
+            .unwrap();
+        for n in seq_floor + 1..seq_floor + 4 {
+            std::fs::write(dir.join(format!("trace-4242-{n}.jsonl")), b"stale").unwrap();
+        }
+        let c = unique_trace_path(&dir, 4242);
+        assert!(!c.exists(), "picked path must not be a stale file");
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

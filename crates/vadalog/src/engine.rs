@@ -43,7 +43,12 @@ use std::time::{Duration, Instant};
 // canonical path.
 
 pub use crate::factdb::FactDb;
-use crate::factdb::Verdict;
+use crate::factdb::{fact_id, FactId, Verdict};
+
+/// Provenance sidecar aligned 1:1 with an `out` batch: the rule id and the
+/// body-atom-order parent fact ids behind each emitted head tuple. Always
+/// empty when `EngineConfig::provenance` is off.
+type ProvOut = Vec<(u32, Box<[FactId]>)>;
 
 // ---------------------------------------------------------------------
 // Engine
@@ -91,6 +96,13 @@ pub struct EngineConfig {
     /// and (counter-gated) inside binding loops and shard workers. `None`
     /// disables polling entirely.
     pub cancel: Option<CancelToken>,
+    /// Record why-provenance: every derived fact gets a `(rule, parents[])`
+    /// edge in the database's [`crate::factdb::ProvStore`], queryable via
+    /// [`crate::explain`]. The fact output is bit-identical with the flag
+    /// on or off, at any thread count; the overhead contract (< 2× chase
+    /// time on the paper's control workload) is pinned by
+    /// `BENCH_chase.json`'s `control_vadalog_prov` rows.
+    pub provenance: bool,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +120,7 @@ impl Default for EngineConfig {
             max_bytes: None,
             strict: false,
             cancel: None,
+            provenance: false,
         }
     }
 }
@@ -234,6 +247,11 @@ pub struct ChaseProfile {
     /// observable in the stats when the run still returned them, i.e. the
     /// injected failure was tolerated or struck another thread).
     pub faults_injected: usize,
+    /// Provenance edges recorded by this run (0 when
+    /// `EngineConfig::provenance` is off).
+    pub prov_edges: usize,
+    /// Parent fact references across those edges (post-dedup).
+    pub prov_parents: usize,
 }
 
 /// Chase counters for one stratum.
@@ -276,6 +294,11 @@ pub struct RuleProfile {
 struct MonoState {
     contributors: FxHashMap<Vec<Value>, Value>,
     current: Value,
+    /// Provenance: parent fact ids of every contributing match so far, in
+    /// contribution order. An aggregate firing's value depends on the whole
+    /// accumulated state, so its edge carries this full snapshot. Empty
+    /// when provenance is off.
+    parents: Vec<FactId>,
 }
 
 /// Per-rule precomputed metadata.
@@ -607,6 +630,14 @@ impl Engine {
                 ..RuleProfile::default()
             })
             .collect();
+        // Provenance recording must be live before any rule fires; program
+        // facts (like pre-loaded inputs) get no edges — that edge-lessness
+        // is what marks them as EDB leaves in explanation trees.
+        if self.config.provenance {
+            db.enable_provenance();
+        }
+        let prov_edges_before = db.prov_edges();
+        let prov_parents_before = db.prov_parent_refs();
         for f in &self.program.facts {
             let tuple: Vec<Value> = f
                 .terms
@@ -671,7 +702,7 @@ impl Engine {
                     for (pred, positions) in &self.meta[ri].index_needs {
                         db.ensure_index(pred, positions);
                     }
-                    let new_facts = match self
+                    let (new_facts, new_prov) = match self
                         .eval_exact_agg_rule(db, ri, rule, &null_gen, &mut nulls, &interrupt)
                     {
                         Ok(v) => v,
@@ -685,7 +716,8 @@ impl Engine {
                         },
                     };
                     let emitted = new_facts.len();
-                    let inserted = self.insert_out(db, new_facts, &mut stats.profile)?;
+                    let inserted =
+                        self.insert_out(db, new_facts, new_prov, &mut stats.profile)?;
                     stats.derived_facts += inserted;
                     stats.duplicates_rejected += emitted - inserted;
                     let prof = &mut stats.profile.rules[ri];
@@ -721,13 +753,14 @@ impl Engine {
                     }
                 }
                 let mut out: Vec<(String, Vec<Value>)> = Vec::new();
+                let mut prov_out: ProvOut = Vec::new();
                 let mut hit: Option<Termination> = None;
                 for &ri in &rules {
                     let rule = &self.program.rules[ri];
                     let result = if first {
                         self.eval_rule(
                             db, ri, rule, None, &null_gen, &mut nulls, &mut mono, &mut out,
-                            &mut stats.profile, &interrupt,
+                            &mut prov_out, &mut stats.profile, &interrupt,
                         )
                     } else {
                         // Delta-restricted runs: one per body atom whose
@@ -746,6 +779,7 @@ impl Engine {
                                     &mut nulls,
                                     &mut mono,
                                     &mut out,
+                                    &mut prov_out,
                                     &mut stats.profile,
                                     &interrupt,
                                 );
@@ -772,6 +806,7 @@ impl Engine {
                     // previous insert batch — the prefix-consistency
                     // guarantee of graceful degradation.
                     drop(out);
+                    drop(prov_out);
                     stop_run!(t);
                 }
                 // Advance watermarks to the lengths *before* inserting the
@@ -786,7 +821,7 @@ impl Engine {
                     watermark.insert(p.clone(), db.len(p));
                 }
                 let emitted = out.len();
-                let inserted = self.insert_out(db, out, &mut stats.profile)?;
+                let inserted = self.insert_out(db, out, prov_out, &mut stats.profile)?;
                 stats.derived_facts += inserted;
                 stats.duplicates_rejected += emitted - inserted;
                 // Post-insert check (the fact cap's historical timing): the
@@ -829,6 +864,8 @@ impl Engine {
         stats.profile.cancel_polls = interrupt.polls.load(Ordering::Relaxed);
         stats.profile.faults_injected =
             (kgm_runtime::fault::injected_total() - faults_before) as usize;
+        stats.profile.prov_edges = db.prov_edges() - prov_edges_before;
+        stats.profile.prov_parents = db.prov_parent_refs() - prov_parents_before;
         if root_span.is_active() {
             for rp in &stats.profile.rules {
                 if rp.evaluations == 0 {
@@ -855,6 +892,10 @@ impl Engine {
         telemetry::counter_add("chase.facts_derived", stats.derived_facts as i64);
         telemetry::counter_add("chase.duplicates_rejected", stats.duplicates_rejected as i64);
         telemetry::counter_add("chase.nulls_created", stats.nulls_created as i64);
+        if self.config.provenance {
+            telemetry::counter_add("chase.prov.edges", stats.profile.prov_edges as i64);
+            telemetry::counter_add("chase.prov.parents", stats.profile.prov_parents as i64);
+        }
         telemetry::counter_add(
             &format!("chase.termination.{}", stats.termination.as_str()),
             1,
@@ -952,12 +993,22 @@ impl Engine {
     /// (fault-injection checkpoints included), so the insertion order, and
     /// therefore every downstream delta range, null OID and counter, is
     /// bit-identical at any `KGM_THREADS`.
+    ///
+    /// With `EngineConfig::provenance` on, `prov` is the sidecar aligned
+    /// 1:1 with `out`; the entry of each tuple that actually inserts
+    /// becomes its derivation edge (first derivation wins — duplicates
+    /// never touch the store), keyed by the [`FactId`] the insert returns.
+    /// Because the insertion order is bit-identical at any thread count,
+    /// so is the recorded edge set.
     fn insert_out(
         &self,
         db: &mut FactDb,
         out: Vec<(String, Vec<Value>)>,
+        prov: ProvOut,
         profile: &mut ChaseProfile,
     ) -> Result<usize> {
+        let record = self.config.provenance;
+        debug_assert!(!record || prov.len() == out.len(), "prov sidecar misaligned");
         let threads = self.config.threads;
         let mut inserted = 0usize;
         if threads > 1 && out.len() >= self.config.min_parallel_batch.max(1) {
@@ -968,20 +1019,28 @@ impl Engine {
                     return Err(KgmError::Internal(format!("{msg} ({pred})")));
                 }
                 if verdicts[i] == Verdict::Insert {
-                    if !db.insert(&pred, tuple)? {
+                    let Some(id) = db.insert_id(&pred, &tuple)? else {
                         return Err(KgmError::Internal(format!(
                             "partitioned merge verdict diverged on `{pred}`"
                         )));
+                    };
+                    if record {
+                        let (rule, parents) = &prov[i];
+                        db.record_prov(id, *rule, parents);
                     }
                     inserted += 1;
                 }
             }
         } else {
-            for (pred, tuple) in out {
+            for (i, (pred, tuple)) in out.into_iter().enumerate() {
                 if let Some(msg) = kgm_runtime::fault::trip("chase.insert") {
                     return Err(KgmError::Internal(format!("{msg} ({pred})")));
                 }
-                if db.insert(&pred, tuple)? {
+                if let Some(id) = db.insert_id(&pred, &tuple)? {
+                    if record {
+                        let (rule, parents) = &prov[i];
+                        db.record_prov(id, *rule, parents);
+                    }
                     inserted += 1;
                 }
             }
@@ -1010,6 +1069,7 @@ impl Engine {
         nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
         mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
         out: &mut Vec<(String, Vec<Value>)>,
+        prov_out: &mut ProvOut,
         profile: &mut ChaseProfile,
         interrupt: &InterruptState,
     ) -> Result<()> {
@@ -1034,13 +1094,14 @@ impl Engine {
         {
             return self.eval_rule_sharded(
                 db, ri, rule, shard_atom, shard_range, delta.is_some(), null_gen, nulls, mono,
-                out, profile, interrupt,
+                out, prov_out, profile, interrupt,
             );
         }
         let t_rule = Instant::now();
         let emitted_before = out.len();
         let mut bindings = 0usize;
         let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+        let mut trail: Vec<FactId> = Vec::new();
         let order = join_order(rule, delta.as_ref().map(|(ai, _)| *ai));
         let result = self.join(
             db,
@@ -1049,10 +1110,13 @@ impl Engine {
             0,
             &delta,
             &mut binding,
+            &mut trail,
             interrupt,
-            &mut |binding| {
+            &mut |binding, trail| {
                 bindings += 1;
-                self.fire(db, ri, rule, binding, null_gen, nulls, mono, out)
+                self.fire(
+                    db, ri, rule, binding, trail, &order, null_gen, nulls, mono, out, prov_out,
+                )
             },
         );
         let prof = &mut profile.rules[ri];
@@ -1094,6 +1158,7 @@ impl Engine {
         nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
         mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
         out: &mut Vec<(String, Vec<Value>)>,
+        prov_out: &mut ProvOut,
         profile: &mut ChaseProfile,
         interrupt: &InterruptState,
     ) -> Result<()> {
@@ -1102,9 +1167,15 @@ impl Engine {
             /// prefix, in enumeration order (pure-prefix assigns applied).
             /// Empty for fully pure rules, whose workers emit heads directly.
             survivors: Vec<Vec<Option<Value>>>,
+            /// Provenance: body-atom-order parent fact ids per survivor,
+            /// aligned with `survivors`. Empty when provenance is off.
+            trails: Vec<Box<[FactId]>>,
             /// Head tuples emitted by this worker (fully pure rules only),
             /// in enumeration order.
             heads: Vec<(String, Vec<Value>)>,
+            /// Provenance sidecar aligned with `heads` (fully pure rules
+            /// with provenance on only).
+            head_prov: ProvOut,
             /// Matches that survived the pure step prefix.
             survived: usize,
             /// Complete body matches enumerated (pre-filter).
@@ -1137,11 +1208,15 @@ impl Engine {
                     }
                     let mut so = ShardOut {
                         survivors: Vec::new(),
+                        trails: Vec::new(),
                         heads: Vec::new(),
+                        head_prov: Vec::new(),
                         survived: 0,
                         enumerated: 0,
                     };
+                    let prov = self.config.provenance;
                     let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+                    let mut trail: Vec<FactId> = Vec::new();
                     // The pure prefix stops before any Aggregate step, so this
                     // map is never consulted; it only satisfies `run_steps`.
                     let mut no_mono: FxHashMap<(usize, Vec<Value>), MonoState> =
@@ -1158,9 +1233,20 @@ impl Engine {
                         0,
                         &delta,
                         &mut binding,
+                        &mut trail,
                         interrupt,
-                        &mut |binding| {
+                        &mut |binding, trail| {
                             so.enumerated += 1;
+                            // Reorder the join-order trail to body-atom
+                            // order: parent ids must not depend on which
+                            // atom carried the delta.
+                            let mut parents: Vec<FactId> = Vec::new();
+                            if prov {
+                                parents = vec![0; trail.len()];
+                                for (pos, &idx) in order.iter().enumerate() {
+                                    parents[idx] = trail[pos];
+                                }
+                            }
                             let mut assigned: Vec<Var> = Vec::new();
                             let keep = self.run_steps(
                                 db,
@@ -1170,6 +1256,7 @@ impl Engine {
                                 binding,
                                 &mut assigned,
                                 &mut no_mono,
+                                &mut parents,
                             );
                             let keep = match keep {
                                 Ok(k) => k,
@@ -1185,10 +1272,13 @@ impl Engine {
                                 if fully_pure {
                                     self.emit_heads(
                                         ri, rule, binding, null_gen, &mut no_nulls,
-                                        &mut so.heads,
+                                        &mut so.heads, &parents, &mut so.head_prov,
                                     )?;
                                 } else {
                                     so.survivors.push(binding.clone());
+                                    if prov {
+                                        so.trails.push(parents.into_boxed_slice());
+                                    }
                                 }
                             }
                             for v in assigned {
@@ -1216,8 +1306,12 @@ impl Engine {
             // Fully pure rules: shard-order concatenation of worker-emitted
             // heads *is* the sequential emission order.
             out.extend(so.heads);
+            prov_out.extend(so.head_prov);
+            let mut trails = so.trails.into_iter();
             for mut binding in so.survivors {
                 // Owned binding: no undo needed between survivors.
+                let mut parents: Vec<FactId> =
+                    trails.next().map(|t| t.into_vec()).unwrap_or_default();
                 let mut assigned: Vec<Var> = Vec::new();
                 let keep = self.run_steps(
                     db,
@@ -1227,9 +1321,12 @@ impl Engine {
                     &mut binding,
                     &mut assigned,
                     mono,
+                    &mut parents,
                 )?;
                 if keep {
-                    self.emit_heads(ri, rule, &binding, null_gen, nulls, out)?;
+                    self.emit_heads(
+                        ri, rule, &binding, null_gen, nulls, out, &parents, prov_out,
+                    )?;
                 }
             }
         }
@@ -1261,6 +1358,11 @@ impl Engine {
     /// matches. Starting the order at the delta atom is what makes the
     /// semi-naive evaluation actually incremental: all other atoms then
     /// join through bound variables instead of rescanning their relations.
+    ///
+    /// With provenance on, `trail` carries the [`FactId`] of each matched
+    /// atom along the descent (join order — one id per `order[..pos]`
+    /// entry), handed to `on_match` alongside the binding; it stays empty
+    /// otherwise.
     #[allow(clippy::too_many_arguments)]
     fn join(
         &self,
@@ -1270,8 +1372,9 @@ impl Engine {
         pos: usize,
         delta: &Option<(usize, Range<usize>)>,
         binding: &mut Vec<Option<Value>>,
+        trail: &mut Vec<FactId>,
         interrupt: &InterruptState,
-        on_match: &mut dyn FnMut(&mut Vec<Option<Value>>) -> Result<()>,
+        on_match: &mut dyn FnMut(&mut Vec<Option<Value>>, &[FactId]) -> Result<()>,
     ) -> Result<()> {
         if interrupt.interrupted() {
             // Unwind out of the binding loops with the sentinel; `run`
@@ -1279,7 +1382,7 @@ impl Engine {
             return Err(interrupt_sentinel());
         }
         if pos == order.len() {
-            return on_match(binding);
+            return on_match(binding, trail);
         }
         let idx = order[pos];
         let atom = &rule.body[idx];
@@ -1351,7 +1454,15 @@ impl Engine {
                 }
             }
             if ok {
-                self.join(db, rule, order, pos + 1, delta, binding, interrupt, on_match)?;
+                if self.config.provenance {
+                    trail.push(fact_id(rel.pred_id, ci));
+                }
+                self.join(
+                    db, rule, order, pos + 1, delta, binding, trail, interrupt, on_match,
+                )?;
+                if self.config.provenance {
+                    trail.pop();
+                }
             }
             for v in assigned {
                 binding[v.0 as usize] = None;
@@ -1365,6 +1476,12 @@ impl Engine {
     /// binding is reused across matches). Returns `Ok(false)` when a
     /// condition, negation, or idempotent aggregate update filtered the
     /// match out.
+    ///
+    /// `edge_parents` is the provenance in/out slot: callers initialize it
+    /// with the match's own body-atom parent ids; a monotonic-aggregate
+    /// step that fires replaces it with the accumulated parents of *every*
+    /// contributing match, since the emitted value depends on all of them.
+    /// Untouched (and expected empty) when provenance is off.
     #[allow(clippy::too_many_arguments, clippy::ptr_arg)]
     fn run_steps(
         &self,
@@ -1375,6 +1492,7 @@ impl Engine {
         binding: &mut Vec<Option<Value>>,
         assigned: &mut Vec<Var>,
         mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
+        edge_parents: &mut Vec<FactId>,
     ) -> Result<bool> {
         let ctx = EvalCtx {
             skolems: &self.skolems,
@@ -1440,6 +1558,7 @@ impl Engine {
                         let state = mono.entry((ri, group)).or_insert_with(|| MonoState {
                             contributors: FxHashMap::default(),
                             current: initial_value(func),
+                            parents: Vec::new(),
                         });
                         if state.contributors.contains_key(&contrib_key) {
                             // Idempotent re-contribution: nothing new.
@@ -1449,9 +1568,20 @@ impl Engine {
                         let changed = updated != state.current;
                         state.contributors.insert(contrib_key, val);
                         state.current = updated.clone();
+                        if self.config.provenance {
+                            // Every new contributor joins the group's parent
+                            // set, whether or not the accumulator moved.
+                            state.parents.extend_from_slice(edge_parents);
+                        }
                         if !changed {
                             // The aggregate did not move; nothing new to emit.
                             return Ok(false);
+                        }
+                        if self.config.provenance {
+                            // A firing's value is a fold over the whole
+                            // group: its edge carries the full snapshot.
+                            edge_parents.clear();
+                            edge_parents.extend_from_slice(&state.parents);
                         }
                         binding[agg.target.0 as usize] = Some(updated);
                         assigned.push(agg.target);
@@ -1462,7 +1592,9 @@ impl Engine {
         Ok(true)
     }
 
-    /// Process steps and emit heads for one complete body match.
+    /// Process steps and emit heads for one complete body match. `trail`
+    /// holds the matched facts' ids in join order (`order` maps them back
+    /// to body-atom positions); empty when provenance is off.
     #[allow(clippy::too_many_arguments, clippy::ptr_arg)]
     fn fire(
         &self,
@@ -1470,16 +1602,27 @@ impl Engine {
         ri: usize,
         rule: &Rule,
         binding: &mut Vec<Option<Value>>,
+        trail: &[FactId],
+        order: &[usize],
         null_gen: &OidGen,
         nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
         mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
         out: &mut Vec<(String, Vec<Value>)>,
+        prov_out: &mut ProvOut,
     ) -> Result<()> {
+        let mut parents: Vec<FactId> = Vec::new();
+        if self.config.provenance {
+            parents = vec![0; trail.len()];
+            for (pos, &idx) in order.iter().enumerate() {
+                parents[idx] = trail[pos];
+            }
+        }
         // Variables assigned by steps must be undone before returning so
         // sibling matches start clean.
         let mut assigned: Vec<Var> = Vec::new();
-        let result =
-            self.run_steps(db, ri, rule, 0..rule.steps.len(), binding, &mut assigned, mono);
+        let result = self.run_steps(
+            db, ri, rule, 0..rule.steps.len(), binding, &mut assigned, mono, &mut parents,
+        );
         let emit = match result {
             Ok(b) => b,
             Err(e) => {
@@ -1490,7 +1633,7 @@ impl Engine {
             }
         };
         if emit {
-            self.emit_heads(ri, rule, binding, null_gen, nulls, out)?;
+            self.emit_heads(ri, rule, binding, null_gen, nulls, out, &parents, prov_out)?;
         }
         for v in assigned {
             binding[v.0 as usize] = None;
@@ -1498,6 +1641,10 @@ impl Engine {
         Ok(())
     }
 
+    /// Emit the rule's head tuples for one surviving binding. With
+    /// provenance on, each emitted tuple gets a matching `(rule, parents)`
+    /// entry in `prov_out` (all heads of one firing share the parents).
+    #[allow(clippy::too_many_arguments)]
     fn emit_heads(
         &self,
         ri: usize,
@@ -1506,6 +1653,8 @@ impl Engine {
         null_gen: &OidGen,
         nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
         out: &mut Vec<(String, Vec<Value>)>,
+        parents: &[FactId],
+        prov_out: &mut ProvOut,
     ) -> Result<()> {
         // Mint (or reuse) labelled nulls for the rule's existentials, keyed
         // by the frontier values (Skolem chase).
@@ -1536,13 +1685,19 @@ impl Engine {
                 })
                 .collect();
             out.push((h.predicate.clone(), tuple));
+            if self.config.provenance {
+                prov_out.push((ri as u32, parents.into()));
+            }
         }
         Ok(())
     }
 
     /// Evaluate one exact-aggregate rule: body relations are complete, so a
     /// single pass collects contributions, grouping produces the final
-    /// values, and post-aggregate steps run once per group.
+    /// values, and post-aggregate steps run once per group. Returns the
+    /// emitted head tuples together with their provenance sidecar (each
+    /// group's heads carry the parents of all its contributing matches;
+    /// empty sidecar when provenance is off).
     fn eval_exact_agg_rule(
         &self,
         db: &FactDb,
@@ -1551,7 +1706,7 @@ impl Engine {
         null_gen: &OidGen,
         nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
         interrupt: &InterruptState,
-    ) -> Result<Vec<(String, Vec<Value>)>> {
+    ) -> Result<(Vec<(String, Vec<Value>)>, ProvOut)> {
         let meta = &self.meta[ri];
         let agg_step = meta.agg_step.expect("exact agg rule");
         let agg = rule.aggregate().expect("exact agg rule").clone();
@@ -1565,13 +1720,19 @@ impl Engine {
         struct Group {
             contributors: FxHashMap<Vec<Value>, Value>,
             order: Vec<Vec<Value>>,
+            /// Provenance: parent fact ids of every counted contribution,
+            /// in contribution order (empty when provenance is off).
+            parents: Vec<FactId>,
         }
+        let prov = self.config.provenance;
         let mut groups: FxHashMap<Vec<Value>, Group> = FxHashMap::default();
         let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+        let mut trail: Vec<FactId> = Vec::new();
         let group_vars = meta.group_vars.clone();
         let pre_steps = &rule.steps[..agg_step];
+        // Natural atom order — so the trail is already in body-atom order.
         let order: Vec<usize> = (0..rule.body.len()).collect();
-        self.join(db, rule, &order, 0, &None, &mut binding, interrupt, &mut |binding| {
+        self.join(db, rule, &order, 0, &None, &mut binding, &mut trail, interrupt, &mut |binding, trail| {
             let mut assigned: Vec<Var> = Vec::new();
             let mut keep = true;
             for step in pre_steps {
@@ -1634,10 +1795,14 @@ impl Engine {
                 let g = groups.entry(gk).or_insert_with(|| Group {
                     contributors: FxHashMap::default(),
                     order: Vec::new(),
+                    parents: Vec::new(),
                 });
                 if !g.contributors.contains_key(&ck) {
                     g.contributors.insert(ck.clone(), val);
                     g.order.push(ck);
+                    if prov {
+                        g.parents.extend_from_slice(trail);
+                    }
                 }
             }
             for v in assigned {
@@ -1648,6 +1813,7 @@ impl Engine {
 
         // Pass 2: fold each group and run post-aggregate steps + heads.
         let mut out = Vec::new();
+        let mut prov_out: ProvOut = Vec::new();
         for (gk, group) in groups {
             let mut acc = initial_value(func);
             let mut n = 0usize;
@@ -1706,10 +1872,13 @@ impl Engine {
                 }
             }
             if keep {
-                self.emit_heads(ri, rule, &binding, null_gen, nulls, &mut out)?;
+                self.emit_heads(
+                    ri, rule, &binding, null_gen, nulls, &mut out, &group.parents,
+                    &mut prov_out,
+                )?;
             }
         }
-        Ok(out)
+        Ok((out, prov_out))
     }
 }
 
@@ -2248,5 +2417,119 @@ mod tests {
         let (_, seq_stats) = engine.run_with_facts(&inputs).unwrap();
         assert_eq!(seq_stats.profile.shards_spawned, 0);
         assert_eq!(seq_stats.derived_facts, stats.derived_facts);
+    }
+
+    fn run_prov_with_threads(
+        src: &str,
+        inputs: &[(&str, Vec<Vec<Value>>)],
+        threads: usize,
+    ) -> (FactDb, RunStats) {
+        let engine = Engine::with_config(
+            parse_program(src).unwrap(),
+            EngineConfig {
+                threads,
+                min_parallel_batch: 1,
+                provenance: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        engine.run_with_facts(inputs).unwrap()
+    }
+
+    /// Value-level image of every provenance edge: `(fact, rule, parent
+    /// facts)` for each derived fact, in insertion order per predicate —
+    /// id-free, so it compares across independently built databases.
+    fn prov_fingerprint(db: &FactDb) -> Vec<(String, Vec<Value>, u32, Vec<(String, Vec<Value>)>)> {
+        let mut out = Vec::new();
+        for pred in db.predicates() {
+            for tuple in db.facts(&pred) {
+                let id = db.find_id(&pred, &tuple).unwrap();
+                if let Some((rule, parents)) = db.prov_edge(id) {
+                    let parent_facts = parents
+                        .iter()
+                        .map(|&p| {
+                            let (pp, pt) = db.fact_values(p).unwrap();
+                            (pp.to_string(), pt)
+                        })
+                        .collect();
+                    out.push((pred.clone(), tuple, rule, parent_facts));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn provenance_on_is_bit_identical_to_off_at_any_thread_count() {
+        let inputs = parallel_mix_inputs();
+        let (base_db, base_stats) = run_with_threads(PARALLEL_MIX_SRC, &inputs, 1);
+        assert_eq!(
+            base_stats.profile.prov_edges, 0,
+            "provenance off must record nothing"
+        );
+        let (prov_db, prov_stats) = run_prov_with_threads(PARALLEL_MIX_SRC, &inputs, 1);
+        assert_eq!(
+            db_fingerprint(&base_db),
+            db_fingerprint(&prov_db),
+            "recording provenance must not change the facts"
+        );
+        assert!(prov_stats.profile.prov_edges > 0);
+        assert!(prov_stats.profile.prov_parents >= prov_stats.profile.prov_edges);
+        let base_prov = prov_fingerprint(&prov_db);
+        assert_eq!(
+            base_prov.len(),
+            prov_stats.profile.prov_edges,
+            "exactly one edge per derived fact"
+        );
+        for threads in [2, 4, 8] {
+            let (db, stats) = run_prov_with_threads(PARALLEL_MIX_SRC, &inputs, threads);
+            assert_eq!(db_fingerprint(&base_db), db_fingerprint(&db), "threads={threads}");
+            assert_eq!(base_prov, prov_fingerprint(&db), "threads={threads}");
+            assert_eq!(stats.profile.prov_edges, prov_stats.profile.prov_edges);
+            assert_eq!(stats.profile.prov_parents, prov_stats.profile.prov_parents);
+        }
+    }
+
+    #[test]
+    fn aggregate_provenance_snapshots_all_contributions() {
+        // Example 4.2: controls(1,3) needs both 30% stakes, so its edge
+        // must carry the accumulated contributor matches — including the
+        // earlier firing's parents — not just the trail that tipped the
+        // threshold.
+        let src = r#"
+            company(X) -> controls(X, X).
+            controls(X, Z), own(Z, Y, W), V = msum(W, <Z>), V > 0.5
+                -> controls(X, Y).
+            "#;
+        let inputs = vec![
+            ("company", ints(&[&[1], &[2], &[3]])),
+            (
+                "own",
+                vec![
+                    vec![Value::Int(1), Value::Int(2), Value::Float(0.6)],
+                    vec![Value::Int(1), Value::Int(3), Value::Float(0.3)],
+                    vec![Value::Int(2), Value::Int(3), Value::Float(0.3)],
+                ],
+            ),
+        ];
+        let (db, _) = run_prov_with_threads(src, &inputs, 1);
+        let joint = db
+            .find_id("controls", &[Value::Int(1), Value::Int(3)])
+            .expect("joint control derived");
+        let (rule, parents) = db.prov_edge(joint).expect("derived fact has an edge");
+        assert_eq!(rule, 1);
+        let own_parents: Vec<(String, Vec<Value>)> = parents
+            .iter()
+            .map(|&p| {
+                let (pp, pt) = db.fact_values(p).unwrap();
+                (pp.to_string(), pt)
+            })
+            .filter(|(p, _)| p == "own")
+            .collect();
+        assert_eq!(own_parents.len(), 2, "{own_parents:?}");
+        // EDB facts never get edges.
+        let edb = db.find_id("own", &own_parents[0].1).unwrap();
+        assert!(db.prov_edge(edb).is_none());
     }
 }

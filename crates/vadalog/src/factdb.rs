@@ -27,12 +27,100 @@
 //! workers probe columns, dedup table and posting lists concurrently without
 //! locks.
 
-use kgm_common::{FxHashMap, FxHasher, KgmError, Result, Value, ValuePool};
+use kgm_common::{FxHashMap, FxHashSet, FxHasher, KgmError, Result, Value, ValuePool};
 use std::hash::Hasher;
 use std::ops::Range;
 
 /// Empty slot marker in the dedup table.
 const EMPTY: u32 = u32::MAX;
+
+/// Dense identity of one stored fact: the owning relation's predicate id in
+/// the high 32 bits, the row index in the low 32. Ids are stable for the
+/// lifetime of the database (facts are never deleted) and cheap to hand to
+/// the provenance layer — packing beats a `(String, usize)` pair on both
+/// size and hash cost.
+pub type FactId = u64;
+
+/// Pack a `(predicate id, row)` pair into a [`FactId`].
+#[inline]
+pub fn fact_id(pred: u32, row: u32) -> FactId {
+    ((pred as u64) << 32) | row as u64
+}
+
+/// The predicate id of a [`FactId`].
+#[inline]
+pub fn fact_pred(id: FactId) -> u32 {
+    (id >> 32) as u32
+}
+
+/// The row index of a [`FactId`].
+#[inline]
+pub fn fact_row(id: FactId) -> u32 {
+    id as u32
+}
+
+/// Why-provenance edges for derived facts: one `(rule, parents[])` record
+/// per fact id, arena-packed so a multi-million-edge chase costs two flat
+/// `Vec`s plus one map entry per derived fact.
+///
+/// The store follows *first-derivation-wins* semantics: the edge recorded
+/// is the one for the firing that actually inserted the fact, and later
+/// re-derivations never overwrite it. Because the chase inserts facts in a
+/// deterministic order (bit-identical at any thread count), the recorded
+/// edges are equally deterministic — and every parent id refers to a fact
+/// inserted *before* its child, so the edge relation is acyclic and
+/// explanation trees always terminate.
+#[derive(Default)]
+pub struct ProvStore {
+    /// fact id → (rule id, start, len) into `parents`.
+    index: FxHashMap<FactId, (u32, u32, u32)>,
+    /// Parent-id arena; each edge owns one contiguous slice.
+    parents: Vec<FactId>,
+    /// Scratch set for per-edge parent dedup (kept to avoid re-allocation).
+    scratch: FxHashSet<FactId>,
+}
+
+impl ProvStore {
+    /// Record the derivation edge of `fact` unless one exists already
+    /// (first derivation wins). Duplicate parents are dropped, preserving
+    /// first-occurrence order — a fact matched by two body atoms is one
+    /// parent.
+    pub fn record(&mut self, fact: FactId, rule: u32, parents: &[FactId]) {
+        if self.index.contains_key(&fact) {
+            return;
+        }
+        let start = self.parents.len() as u32;
+        self.scratch.clear();
+        for &p in parents {
+            if self.scratch.insert(p) {
+                self.parents.push(p);
+            }
+        }
+        let len = self.parents.len() as u32 - start;
+        self.index.insert(fact, (rule, start, len));
+    }
+
+    /// The `(rule, parents)` edge of `fact`, if one was recorded.
+    pub fn edge(&self, fact: FactId) -> Option<(u32, &[FactId])> {
+        let &(rule, start, len) = self.index.get(&fact)?;
+        Some((rule, &self.parents[start as usize..(start + len) as usize]))
+    }
+
+    /// Number of recorded edges (= derived facts with provenance).
+    pub fn edges(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total parent references across all edges.
+    pub fn parent_refs(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Heap footprint: the parent arena plus the index map.
+    fn approx_bytes(&self) -> usize {
+        self.parents.capacity() * 8 + self.index.capacity() * (8 + 12 + 8)
+    }
+}
 
 /// Hash of a packed tuple. Row hashes are stored per row so table growth and
 /// frozen-db probes never re-touch the columns.
@@ -80,6 +168,9 @@ impl Iterator for Candidates<'_> {
 /// hold exact ids while equality is defined on classes.
 pub(crate) struct Relation {
     pub(crate) arity: usize,
+    /// Dense predicate id (creation order), the high half of this
+    /// relation's [`FactId`]s.
+    pub(crate) pred_id: u32,
     /// `cols[p][row]` = exact pool id of attribute `p` of tuple `row`.
     cols: Vec<Vec<u64>>,
     /// Class-id tuple hash per row, aligned with the columns.
@@ -90,9 +181,10 @@ pub(crate) struct Relation {
 }
 
 impl Relation {
-    fn new(arity: usize) -> Self {
+    fn new(arity: usize, pred_id: u32) -> Self {
         Relation {
             arity,
+            pred_id,
             cols: (0..arity).map(|_| Vec::new()).collect(),
             row_hash: Vec::new(),
             table: Vec::new(),
@@ -297,6 +389,12 @@ pub(crate) enum Verdict {
 pub struct FactDb {
     pool: ValuePool,
     rels: FxHashMap<String, Relation>,
+    /// Predicate names in creation order; index = [`Relation::pred_id`].
+    pred_names: Vec<String>,
+    /// Why-provenance edges, present only when the engine enabled them
+    /// (`EngineConfig::provenance`); `None` keeps the hot path free of even
+    /// a branch-per-parent cost.
+    prov: Option<ProvStore>,
     total: usize,
     scratch: Vec<u64>,
     scratch_class: Vec<u64>,
@@ -316,10 +414,19 @@ impl FactDb {
     /// [`FactDb::insert`] without consuming the tuple (values are interned,
     /// so ownership buys nothing).
     pub fn insert_ref(&mut self, predicate: &str, tuple: &[Value]) -> Result<bool> {
-        let rel = self
-            .rels
-            .entry(predicate.to_string())
-            .or_insert_with(|| Relation::new(tuple.len()));
+        Ok(self.insert_id(predicate, tuple)?.is_some())
+    }
+
+    /// Insert one fact and return its [`FactId`] if it was new (`None` for
+    /// duplicates). The provenance layer needs the id of a *just-inserted*
+    /// fact to key its derivation edge.
+    pub fn insert_id(&mut self, predicate: &str, tuple: &[Value]) -> Result<Option<FactId>> {
+        let pred_names = &mut self.pred_names;
+        let rel = self.rels.entry(predicate.to_string()).or_insert_with(|| {
+            let pid = pred_names.len() as u32;
+            pred_names.push(predicate.to_string());
+            Relation::new(tuple.len(), pid)
+        });
         if rel.arity != tuple.len() {
             return Err(KgmError::Schema(format!(
                 "predicate `{predicate}` has arity {}, got tuple of length {}",
@@ -336,10 +443,11 @@ impl FactDb {
         }
         let new =
             rel.insert_ids(&self.scratch, &self.scratch_class, self.pool.classes());
-        if new {
-            self.total += 1;
+        if !new {
+            return Ok(None);
         }
-        Ok(new)
+        self.total += 1;
+        Ok(Some(fact_id(rel.pred_id, (rel.rows() - 1) as u32)))
     }
 
     /// Bulk insert.
@@ -416,17 +524,22 @@ impl FactDb {
     /// regression test against a counting allocator).
     pub fn approx_bytes(&self) -> usize {
         let rels: usize = self.rels.values().map(Relation::approx_bytes).sum();
-        rels + self.pool.approx_bytes()
+        let prov = self.prov.as_ref().map_or(0, ProvStore::approx_bytes);
+        rels + prov + self.pool.approx_bytes()
     }
 
     /// Exact containment test. Read-only (never interns): a tuple with any
     /// never-seen value cannot be stored.
     pub fn contains(&self, predicate: &str, tuple: &[Value]) -> bool {
-        let Some(rel) = self.rels.get(predicate) else {
-            return false;
-        };
+        self.find_id(predicate, tuple).is_some()
+    }
+
+    /// The [`FactId`] of a stored fact, if present. Read-only, same probe
+    /// as [`FactDb::contains`].
+    pub fn find_id(&self, predicate: &str, tuple: &[Value]) -> Option<FactId> {
+        let rel = self.rels.get(predicate)?;
         if rel.arity != tuple.len() {
-            return false;
+            return None;
         }
         let mut ids = [0u64; 8];
         let mut idv: Vec<u64>;
@@ -439,10 +552,69 @@ impl FactDb {
         for (slot, v) in ids.iter_mut().zip(tuple) {
             match self.pool.lookup(v) {
                 Some(class_id) => *slot = class_id,
-                None => return false,
+                None => return None,
             }
         }
-        rel.find(hash_ids(ids), ids, self.pool.classes()).is_some()
+        rel.find(hash_ids(ids), ids, self.pool.classes())
+            .map(|row| fact_id(rel.pred_id, row))
+    }
+
+    /// Resolve a [`FactId`] back to `(predicate, tuple)`. `None` for ids
+    /// that don't name a stored fact.
+    pub fn fact_values(&self, id: FactId) -> Option<(&str, Vec<Value>)> {
+        let pred = self.pred_names.get(fact_pred(id) as usize)?;
+        let rel = self.rels.get(pred)?;
+        let row = fact_row(id) as usize;
+        if row >= rel.rows() {
+            return None;
+        }
+        let tuple = (0..rel.arity)
+            .map(|c| self.pool.get(rel.id_at(row, c)).clone())
+            .collect();
+        Some((pred.as_str(), tuple))
+    }
+
+    // -----------------------------------------------------------------
+    // Provenance
+    // -----------------------------------------------------------------
+
+    /// Turn on why-provenance recording. Facts inserted *before* the call
+    /// (and any inserted without an explicit [`FactDb::record_prov`]) stay
+    /// edge-less, which is exactly how EDB facts are distinguished from
+    /// derived ones.
+    pub fn enable_provenance(&mut self) {
+        if self.prov.is_none() {
+            self.prov = Some(ProvStore::default());
+        }
+    }
+
+    /// True when [`FactDb::enable_provenance`] was called.
+    pub fn provenance_enabled(&self) -> bool {
+        self.prov.is_some()
+    }
+
+    /// Record the derivation edge of a fact (no-op when provenance is off;
+    /// first derivation wins — see [`ProvStore::record`]).
+    pub fn record_prov(&mut self, fact: FactId, rule: u32, parents: &[FactId]) {
+        if let Some(p) = self.prov.as_mut() {
+            p.record(fact, rule, parents);
+        }
+    }
+
+    /// The `(rule, parents)` derivation edge of a fact. `None` both for EDB
+    /// facts and when provenance is off.
+    pub fn prov_edge(&self, fact: FactId) -> Option<(u32, &[FactId])> {
+        self.prov.as_ref()?.edge(fact)
+    }
+
+    /// Number of recorded provenance edges.
+    pub fn prov_edges(&self) -> usize {
+        self.prov.as_ref().map_or(0, ProvStore::edges)
+    }
+
+    /// Total parent references across recorded provenance edges.
+    pub fn prov_parent_refs(&self) -> usize {
+        self.prov.as_ref().map_or(0, ProvStore::parent_refs)
     }
 
     /// All predicate names, sorted.
@@ -702,6 +874,45 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(inserts, (1..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fact_ids_round_trip_and_dups_return_none() {
+        let mut db = FactDb::new();
+        let a = db.insert_id("p", &[Value::Int(1)]).unwrap().unwrap();
+        let b = db.insert_id("q", &[Value::Int(1), Value::Int(2)]).unwrap().unwrap();
+        let c = db.insert_id("p", &[Value::Int(2)]).unwrap().unwrap();
+        assert_eq!(db.insert_id("p", &[Value::Int(1)]).unwrap(), None);
+        // Equal-class duplicate is still a duplicate.
+        assert_eq!(db.insert_id("p", &[Value::Float(1.0)]).unwrap(), None);
+        assert_eq!(db.fact_values(a), Some(("p", vec![Value::Int(1)])));
+        assert_eq!(db.fact_values(b), Some(("q", vec![Value::Int(1), Value::Int(2)])));
+        assert_eq!(db.fact_values(c), Some(("p", vec![Value::Int(2)])));
+        assert_eq!(db.find_id("p", &[Value::Int(1)]), Some(a));
+        assert_eq!(db.find_id("p", &[Value::Float(2.0)]), Some(c));
+        assert_eq!(db.find_id("p", &[Value::Int(9)]), None);
+        assert_eq!(db.find_id("absent", &[Value::Int(1)]), None);
+        assert_eq!(db.fact_values(fact_id(7, 0)), None);
+        assert_eq!(db.fact_values(fact_id(fact_pred(a), 99)), None);
+        assert_eq!((fact_pred(b), fact_row(b)), (1, 0));
+    }
+
+    #[test]
+    fn prov_store_first_derivation_wins_and_dedups_parents() {
+        let mut db = FactDb::new();
+        let e1 = db.insert_id("e", &[Value::Int(1)]).unwrap().unwrap();
+        let e2 = db.insert_id("e", &[Value::Int(2)]).unwrap().unwrap();
+        assert_eq!(db.prov_edges(), 0, "recording is off by default");
+        db.record_prov(e1, 0, &[]);
+        assert_eq!(db.prov_edge(e1), None, "record before enable is a no-op");
+        db.enable_provenance();
+        let d = db.insert_id("d", &[Value::Int(3)]).unwrap().unwrap();
+        db.record_prov(d, 2, &[e1, e2, e1]);
+        assert_eq!(db.prov_edge(d), Some((2, &[e1, e2][..])), "parents dedup in order");
+        db.record_prov(d, 5, &[e2]);
+        assert_eq!(db.prov_edge(d), Some((2, &[e1, e2][..])), "first derivation wins");
+        assert_eq!(db.prov_edge(e1), None, "EDB facts stay edge-less");
+        assert_eq!((db.prov_edges(), db.prov_parent_refs()), (1, 2));
     }
 
     #[test]

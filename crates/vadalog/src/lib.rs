@@ -47,6 +47,7 @@ pub mod ast;
 pub mod bindings;
 pub mod engine;
 pub mod eval;
+pub mod explain;
 pub mod factdb;
 pub mod genprog;
 pub mod oracle;
@@ -63,10 +64,12 @@ pub use engine::{
     ChaseProfile, Engine, EngineConfig, FactDb, RuleProfile, RunStats, StratumProfile,
     Termination,
 };
+pub use explain::{explain, render, DerivationTree};
+pub use factdb::{FactId, ProvStore};
 pub use genprog::{GenCase, GenConfig};
 pub use oracle::{
     canonical_diff, canonical_diff_oracle, canonical_facts, canonical_facts_rows,
-    isomorphic, naive_chase, OracleConfig, RowDb,
+    isomorphic, naive_chase, naive_chase_prov, OracleConfig, RowDb,
 };
 pub use parser::parse_program;
-pub use printer::to_source;
+pub use printer::{rule_to_source, to_source};

@@ -164,6 +164,27 @@ impl Default for OracleConfig {
 struct MonoState {
     contributors: FxHashMap<Vec<Value>, Value>,
     current: Value,
+    /// With provenance on: every parent fact of every accepted
+    /// contribution so far, in contribution order — an aggregate firing's
+    /// edge carries the full accumulated snapshot, exactly like the engine.
+    parents: ProvParents,
+}
+
+/// Parent facts of one derivation, as plain `(predicate, tuple)` values —
+/// the oracle's storage-independent analogue of the engine's dense fact
+/// ids.
+pub type ProvParents = Vec<(String, Vec<Value>)>;
+
+/// Why-provenance recorded by [`naive_chase_prov`]: for each *derived*
+/// fact, the rule index and parent facts of the firing that first inserted
+/// it. EDB facts (inputs and program facts) have no entry.
+pub type OracleProvEdges = FxHashMap<(String, Vec<Value>), (usize, ProvParents)>;
+
+/// The body-match trail threaded through [`enumerate`]: when `on`, the
+/// matched tuple of every body atom bound so far, in written atom order.
+struct Trail {
+    on: bool,
+    items: ProvParents,
 }
 
 fn initial_value(func: AggregateFunc) -> Value {
@@ -218,6 +239,30 @@ pub fn naive_chase_with(
     inputs: &[(&str, Vec<Vec<Value>>)],
     config: &OracleConfig,
 ) -> Result<RowDb> {
+    let (db, _) = naive_chase_impl(program, inputs, config, false)?;
+    Ok(db)
+}
+
+/// [`naive_chase_with`] recording why-provenance as it goes: returns the
+/// fixpoint database together with one `(rule, parents)` edge per derived
+/// fact (first insertion wins, parents deduplicated in first-occurrence
+/// order). This is an *independent* provenance implementation — value-row
+/// trails through the nested-loop enumerator, no fact ids, no deltas — so
+/// the engine's `ProvStore` can be differentially tested against it.
+pub fn naive_chase_prov(
+    program: &Program,
+    inputs: &[(&str, Vec<Vec<Value>>)],
+    config: &OracleConfig,
+) -> Result<(RowDb, OracleProvEdges)> {
+    naive_chase_impl(program, inputs, config, true)
+}
+
+fn naive_chase_impl(
+    program: &Program,
+    inputs: &[(&str, Vec<Vec<Value>>)],
+    config: &OracleConfig,
+    prov: bool,
+) -> Result<(RowDb, OracleProvEdges)> {
     let analysis = ProgramAnalysis::analyze(program)?;
     let mut db = RowDb::new();
     for (pred, tuples) in inputs {
@@ -275,6 +320,7 @@ pub fn naive_chase_with(
     let null_gen = OidGen::new(OidSpace::Null);
     let mut nulls: FxHashMap<(usize, Var, Vec<Value>), Oid> = FxHashMap::default();
     let mut mono: FxHashMap<(usize, Vec<Value>), MonoState> = FxHashMap::default();
+    let mut edges: OracleProvEdges = OracleProvEdges::default();
 
     for s in 0..analysis.stratification.count {
         // 1. Exact-aggregate rules: their bodies live strictly below this
@@ -283,10 +329,11 @@ pub fn naive_chase_with(
             if meta[ri].stratum != s || meta[ri].agg_mode != Some(AggMode::Exact) {
                 continue;
             }
-            let out =
-                eval_exact_rule(&db, ri, rule, &meta[ri], &skolems, &null_gen, &mut nulls)?;
-            for (pred, tuple) in out {
-                db.insert(&pred, tuple)?;
+            let (out, prov_out) = eval_exact_rule(
+                &db, ri, rule, &meta[ri], &skolems, &null_gen, &mut nulls, prov,
+            )?;
+            for (i, (pred, tuple)) in out.into_iter().enumerate() {
+                record_insert(&mut db, &mut edges, prov, &prov_out, i, pred, tuple)?;
             }
         }
         // 2. All remaining rules of the stratum, every rule over all facts,
@@ -309,19 +356,24 @@ pub fn naive_chase_with(
             }
             iterations += 1;
             let mut out: Vec<(String, Vec<Value>)> = Vec::new();
+            let mut prov_out: Vec<(usize, ProvParents)> = Vec::new();
             for &ri in &rules {
                 let rule = &program.rules[ri];
                 let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
-                enumerate(&db, rule, 0, &mut binding, &mut |binding| {
+                let mut trail = Trail {
+                    on: prov,
+                    items: Vec::new(),
+                };
+                enumerate(&db, rule, 0, &mut binding, &mut trail, &mut |binding, parents| {
                     fire(
-                        &db, ri, rule, &meta[ri], binding, &skolems, &null_gen, &mut nulls,
-                        &mut mono, &mut out,
+                        &db, ri, rule, &meta[ri], binding, parents, &skolems, &null_gen,
+                        &mut nulls, &mut mono, &mut out, prov, &mut prov_out,
                     )
                 })?;
             }
             let mut inserted = 0usize;
-            for (pred, tuple) in out {
-                if db.insert(&pred, tuple)? {
+            for (i, (pred, tuple)) in out.into_iter().enumerate() {
+                if record_insert(&mut db, &mut edges, prov, &prov_out, i, pred, tuple)? {
                     inserted += 1;
                 }
             }
@@ -337,7 +389,37 @@ pub fn naive_chase_with(
             }
         }
     }
-    Ok(db)
+    Ok((db, edges))
+}
+
+/// Insert one head fact and, with provenance on, record its `(rule,
+/// parents)` edge when (and only when) the insert was new — first
+/// derivation wins, duplicate parents dropped in first-occurrence order,
+/// EDB facts never recorded. Mirrors the engine's `ProvStore` contract.
+fn record_insert(
+    db: &mut RowDb,
+    edges: &mut OracleProvEdges,
+    prov: bool,
+    prov_out: &[(usize, ProvParents)],
+    i: usize,
+    pred: String,
+    tuple: Vec<Value>,
+) -> Result<bool> {
+    if !prov {
+        return db.insert(&pred, tuple);
+    }
+    if !db.insert(&pred, tuple.clone())? {
+        return Ok(false);
+    }
+    let (ri, parents) = &prov_out[i];
+    let mut seen: FxHashSet<&(String, Vec<Value>)> = FxHashSet::default();
+    let deduped: ProvParents = parents
+        .iter()
+        .filter(|p| seen.insert(*p))
+        .cloned()
+        .collect();
+    edges.insert((pred, tuple), (*ri, deduped));
+    Ok(true)
 }
 
 /// Nested-loop enumeration of every complete match of `rule.body`, in
@@ -348,10 +430,11 @@ fn enumerate(
     rule: &Rule,
     ai: usize,
     binding: &mut Vec<Option<Value>>,
-    on_match: &mut dyn FnMut(&mut Vec<Option<Value>>) -> Result<()>,
+    trail: &mut Trail,
+    on_match: &mut dyn FnMut(&mut Vec<Option<Value>>, &[(String, Vec<Value>)]) -> Result<()>,
 ) -> Result<()> {
     if ai == rule.body.len() {
-        return on_match(binding);
+        return on_match(binding, &trail.items);
     }
     let atom = &rule.body[ai];
     for tuple in db.facts(&atom.predicate) {
@@ -388,7 +471,13 @@ fn enumerate(
             }
         }
         if ok {
-            enumerate(db, rule, ai + 1, binding, on_match)?;
+            if trail.on {
+                trail.items.push((atom.predicate.clone(), tuple.clone()));
+            }
+            enumerate(db, rule, ai + 1, binding, trail, on_match)?;
+            if trail.on {
+                trail.items.pop();
+            }
         }
         for x in newly_bound {
             binding[x.0 as usize] = None;
@@ -409,15 +498,22 @@ fn fire(
     rule: &Rule,
     meta: &OracleMeta,
     binding: &mut Vec<Option<Value>>,
+    parents: &[(String, Vec<Value>)],
     skolems: &SkolemRegistry,
     null_gen: &OidGen,
     nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
     mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
     out: &mut Vec<(String, Vec<Value>)>,
+    prov: bool,
+    prov_out: &mut Vec<(usize, ProvParents)>,
 ) -> Result<()> {
     let ctx = EvalCtx { skolems };
     let mut assigned: Vec<Var> = Vec::new();
     let mut emit = true;
+    // The firing's edge parents: the body-match trail for plain rules,
+    // replaced by the accumulated contributor snapshot when a monotonic
+    // aggregate moves (an aggregate head depends on *every* contribution).
+    let mut edge_parents: ProvParents = if prov { parents.to_vec() } else { Vec::new() };
     for step in &rule.steps {
         match step {
             RuleStep::Condition(e) => match eval(e, binding, &ctx) {
@@ -473,7 +569,7 @@ fn fire(
                         ));
                     }
                 };
-                match contribute(agg, func, ri, meta, binding, mono, &ctx) {
+                match contribute(agg, func, ri, meta, binding, mono, &ctx, prov, &mut edge_parents) {
                     Ok(Some(updated)) => {
                         binding[agg.target.0 as usize] = Some(updated);
                         assigned.push(agg.target);
@@ -491,7 +587,7 @@ fn fire(
         }
     }
     if emit {
-        emit_heads(ri, rule, meta, binding, null_gen, nulls, out);
+        emit_heads(ri, rule, meta, binding, null_gen, nulls, out, prov, &edge_parents, prov_out);
     }
     undo(binding, &assigned);
     Ok(())
@@ -506,6 +602,7 @@ fn undo(binding: &mut [Option<Value>], assigned: &[Var]) {
 /// Register one monotonic contribution. Returns the new running value when
 /// it moved (the match should continue and emit), `None` when the
 /// contribution was idempotent or did not change the aggregate.
+#[allow(clippy::too_many_arguments)]
 fn contribute(
     agg: &Aggregate,
     func: AggregateFunc,
@@ -514,6 +611,8 @@ fn contribute(
     binding: &[Option<Value>],
     mono: &mut FxHashMap<(usize, Vec<Value>), MonoState>,
     ctx: &EvalCtx,
+    prov: bool,
+    edge_parents: &mut ProvParents,
 ) -> Result<Option<Value>> {
     let group: Vec<Value> = meta
         .group_vars
@@ -532,6 +631,7 @@ fn contribute(
     let state = mono.entry((ri, group)).or_insert_with(|| MonoState {
         contributors: FxHashMap::default(),
         current: initial_value(func),
+        parents: Vec::new(),
     });
     if state.contributors.contains_key(&contrib_key) {
         return Ok(None);
@@ -540,11 +640,24 @@ fn contribute(
     let changed = updated != state.current;
     state.contributors.insert(contrib_key, val);
     state.current = updated.clone();
+    if prov {
+        // Every accepted contribution's body match feeds the group, even
+        // when it does not move the accumulator; an emitting firing's edge
+        // is the full snapshot.
+        state.parents.extend_from_slice(edge_parents);
+        if changed {
+            edge_parents.clear();
+            edge_parents.extend_from_slice(&state.parents);
+        }
+    }
     Ok(if changed { Some(updated) } else { None })
 }
 
 /// Mint (or reuse) the rule's labelled nulls keyed by the frontier values
-/// and push one tuple per head atom — the Skolem chase.
+/// and push one tuple per head atom — the Skolem chase. With provenance
+/// on, pushes one `(rule, parents)` record per head so `prov_out` stays
+/// aligned 1:1 with `out`.
+#[allow(clippy::too_many_arguments)]
 fn emit_heads(
     ri: usize,
     rule: &Rule,
@@ -553,6 +666,9 @@ fn emit_heads(
     null_gen: &OidGen,
     nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
     out: &mut Vec<(String, Vec<Value>)>,
+    prov: bool,
+    edge_parents: &[(String, Vec<Value>)],
+    prov_out: &mut Vec<(usize, ProvParents)>,
 ) {
     let mut null_values: FxHashMap<Var, Value> = FxHashMap::default();
     if !meta.existentials.is_empty() {
@@ -580,6 +696,9 @@ fn emit_heads(
             })
             .collect();
         out.push((h.predicate.clone(), tuple));
+        if prov {
+            prov_out.push((ri, edge_parents.to_vec()));
+        }
     }
 }
 
@@ -587,6 +706,7 @@ fn emit_heads(
 /// pre-aggregate steps inline, group contributions (first value per
 /// contributor key wins, insertion order preserved), fold each group, then
 /// run post-aggregate steps and emit heads once per group.
+#[allow(clippy::too_many_arguments)]
 fn eval_exact_rule(
     db: &RowDb,
     ri: usize,
@@ -595,7 +715,8 @@ fn eval_exact_rule(
     skolems: &SkolemRegistry,
     null_gen: &OidGen,
     nulls: &mut FxHashMap<(usize, Var, Vec<Value>), Oid>,
-) -> Result<Vec<(String, Vec<Value>)>> {
+    prov: bool,
+) -> Result<(Vec<(String, Vec<Value>)>, Vec<(usize, ProvParents)>)> {
     let agg_step = meta.agg_step.expect("exact agg rule");
     let agg = rule.aggregate().expect("exact agg rule").clone();
     let ctx = EvalCtx { skolems };
@@ -603,13 +724,18 @@ fn eval_exact_rule(
     struct Group {
         contributors: FxHashMap<Vec<Value>, Value>,
         order: Vec<Vec<Value>>,
+        parents: ProvParents,
     }
     // Group keys in first-seen order so pass 2 is deterministic.
     let mut groups: FxHashMap<Vec<Value>, Group> = FxHashMap::default();
     let mut group_order: Vec<Vec<Value>> = Vec::new();
     let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+    let mut trail = Trail {
+        on: prov,
+        items: Vec::new(),
+    };
     let pre_steps = &rule.steps[..agg_step];
-    enumerate(db, rule, 0, &mut binding, &mut |binding| {
+    enumerate(db, rule, 0, &mut binding, &mut trail, &mut |binding, parents| {
         let mut assigned: Vec<Var> = Vec::new();
         let mut keep = true;
         for step in pre_steps {
@@ -691,10 +817,14 @@ fn eval_exact_rule(
             let g = groups.entry(gk).or_insert_with(|| Group {
                 contributors: FxHashMap::default(),
                 order: Vec::new(),
+                parents: Vec::new(),
             });
             if !g.contributors.contains_key(&ck) {
                 g.contributors.insert(ck.clone(), val);
                 g.order.push(ck);
+                if prov {
+                    g.parents.extend_from_slice(parents);
+                }
             }
         }
         undo(binding, &assigned);
@@ -702,6 +832,7 @@ fn eval_exact_rule(
     })?;
 
     let mut out = Vec::new();
+    let mut prov_out: Vec<(usize, ProvParents)> = Vec::new();
     for gk in group_order {
         let group = &groups[&gk];
         let mut acc = initial_value(agg.func);
@@ -755,10 +886,13 @@ fn eval_exact_rule(
             }
         }
         if keep {
-            emit_heads(ri, rule, meta, &binding, null_gen, nulls, &mut out);
+            emit_heads(
+                ri, rule, meta, &binding, null_gen, nulls, &mut out, prov, &group.parents,
+                &mut prov_out,
+            );
         }
     }
-    Ok(out)
+    Ok((out, prov_out))
 }
 
 // ---------------------------------------------------------------------------
@@ -989,6 +1123,80 @@ mod tests {
              own(X,Y,W) -> control(X,X).\n\
              control(X,Z), own(Z,Y,W), V = msum(W, <Z>), V > 0.5 -> control(X,Y).",
         );
+    }
+
+    #[test]
+    fn oracle_provenance_records_first_derivation_with_edb_parents() {
+        let program = parse_program(
+            "e(1,2). e(2,3).\n\
+             e(X,Y) -> t(X,Y).\n\
+             t(X,Y), e(Y,Z) -> t(X,Z).",
+        )
+        .unwrap();
+        let (db, edges) = naive_chase_prov(&program, &[], &OracleConfig::default()).unwrap();
+        // Derived: t(1,2), t(2,3), t(1,3) — and only those get edges.
+        assert_eq!(edges.len(), 3);
+        assert!(!edges.contains_key(&("e".to_string(), vec![Value::Int(1), Value::Int(2)])));
+        let (ri, parents) = &edges[&("t".to_string(), vec![Value::Int(1), Value::Int(3)])];
+        assert_eq!(*ri, 1);
+        assert_eq!(
+            parents,
+            &vec![
+                ("t".to_string(), vec![Value::Int(1), Value::Int(2)]),
+                ("e".to_string(), vec![Value::Int(2), Value::Int(3)]),
+            ],
+            "parents in written body-atom order"
+        );
+        // Recording must not perturb the fixpoint itself.
+        let plain = naive_chase(&program).unwrap();
+        assert_eq!(canonical_facts_rows(&plain), canonical_facts_rows(&db));
+    }
+
+    #[test]
+    fn oracle_exact_aggregate_edges_cover_all_group_matches() {
+        let program = parse_program(
+            "s(1,10). s(1,20). s(2,5).\n\
+             s(X,W), V = sum(W) -> total(X,V).",
+        )
+        .unwrap();
+        let (_, edges) = naive_chase_prov(&program, &[], &OracleConfig::default()).unwrap();
+        let (ri, parents) = &edges[&(
+            "total".to_string(),
+            vec![Value::Int(1), Value::Int(30)],
+        )];
+        assert_eq!(*ri, 0);
+        assert_eq!(
+            parents,
+            &vec![
+                ("s".to_string(), vec![Value::Int(1), Value::Int(10)]),
+                ("s".to_string(), vec![Value::Int(1), Value::Int(20)]),
+            ],
+            "an exact-aggregate edge holds every contributing match of its group"
+        );
+        let (_, parents2) =
+            &edges[&("total".to_string(), vec![Value::Int(2), Value::Int(5)])];
+        assert_eq!(parents2, &vec![("s".to_string(), vec![Value::Int(2), Value::Int(5)])]);
+    }
+
+    #[test]
+    fn oracle_monotonic_aggregate_edges_snapshot_all_contributions() {
+        let program = parse_program(
+            "own(1,2,0.6). own(2,3,0.6). own(1,3,0.2).\n\
+             own(X,Y,W) -> control(X,X).\n\
+             control(X,Z), own(Z,Y,W), V = msum(W, <Z>), V > 0.5 -> control(X,Y).",
+        )
+        .unwrap();
+        let (db, edges) = naive_chase_prov(&program, &[], &OracleConfig::default()).unwrap();
+        assert!(db.contains("control", &[Value::Int(1), Value::Int(3)]));
+        let (ri, parents) =
+            &edges[&("control".to_string(), vec![Value::Int(1), Value::Int(3)])];
+        assert_eq!(*ri, 1);
+        // control(1,3) needs both ownership paths (0.2 + 0.6 > 0.5): the
+        // firing's edge must carry the accumulated contributions, not just
+        // the final match's trail.
+        let own_parents: Vec<&(String, Vec<Value>)> =
+            parents.iter().filter(|(p, _)| p == "own").collect();
+        assert_eq!(own_parents.len(), 2, "{parents:?}");
     }
 
     #[test]

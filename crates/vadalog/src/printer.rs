@@ -151,6 +151,14 @@ fn rule_source(rule: &Rule, parseable: &mut bool) -> String {
     format!("{} -> {}.", parts.join(", "), heads.join(", "))
 }
 
+/// Render one rule as Vadalog source — for explanation trees and
+/// diagnostics, where parseability does not matter (OID constants print as
+/// placeholders).
+pub fn rule_to_source(rule: &Rule) -> String {
+    let mut parseable = true;
+    rule_source(rule, &mut parseable)
+}
+
 /// Render a whole program as Vadalog source. Returns the text and whether
 /// it is parseable (false when OID constants had to be printed as
 /// placeholders).

@@ -9,6 +9,7 @@
 //! run|<strata>|<iterations>|<derived>|<nulls>|<duplicates>|<elapsed_ms>
 //! term|<termination>|<stopped_stratum>|<stopped_iteration>|<cancel_polls>|<faults_injected>
 //! par|<shards_spawned>|<worker_candidates>|<merge_dedup_hits>|<merge_partitions>
+//! prov|<edges_recorded>|<parent_refs>
 //! stratum|<idx>|<iterations>|<derived>|<duplicates>|<nulls>|<elapsed_ms>
 //! rule|<idx>|<head>|<evals>|<delta_evals>|<bindings>|<emitted>|<elapsed_ms>
 //! ```
@@ -18,6 +19,11 @@
 //! (all zeroes for a sequential run), then zero or more `stratum` and `rule`
 //! lines in any order. Elapsed times round-trip at microsecond precision
 //! (`{:.3}` ms).
+//!
+//! The `prov` line (why-provenance accounting, all zeroes with provenance
+//! off) was added after the format's first release; [`RunStats::from_text`]
+//! treats it as optional, so pre-provenance texts still parse — with the
+//! provenance counters defaulting to zero.
 
 use crate::engine::{ChaseProfile, RuleProfile, RunStats, StratumProfile, Termination};
 use kgm_common::codec::{escape, unescape, CodecError};
@@ -49,6 +55,10 @@ impl RunStats {
             self.profile.worker_candidates,
             self.profile.merge_dedup_hits,
             self.profile.merge_partitions,
+        ));
+        out.push_str(&format!(
+            "prov|{}|{}\n",
+            self.profile.prov_edges, self.profile.prov_parents,
         ));
         for s in &self.profile.strata {
             out.push_str(&format!(
@@ -155,6 +165,22 @@ impl RunStats {
                     profile.merge_dedup_hits = num(fields[3])?;
                     profile.merge_partitions = num(fields[4])?;
                 }
+                // Optional since its introduction: texts written before the
+                // provenance release have no `prov` line and parse with the
+                // counters left at zero.
+                "prov" => {
+                    if fields.len() != 3 {
+                        return Err(bad(&format!(
+                            "expected 3 fields, got {}",
+                            fields.len()
+                        )));
+                    }
+                    let num = |f: &str| -> Result<usize, CodecError> {
+                        f.parse().map_err(|_| bad(&format!("bad number {f:?}")))
+                    };
+                    profile.prov_edges = num(fields[1])?;
+                    profile.prov_parents = num(fields[2])?;
+                }
                 "stratum" => {
                     let n = nums(1, 7)?;
                     profile.strata.push(StratumProfile {
@@ -245,6 +271,8 @@ mod tests {
                 merge_partitions: 4,
                 cancel_polls: 6,
                 faults_injected: 0,
+                prov_edges: 42,
+                prov_parents: 97,
             },
         }
     }
@@ -262,14 +290,40 @@ mod tests {
         let text = sample().to_text();
         assert!(
             text.starts_with(
-                "run|2|5|42|3|7|1.500\nterm|complete|1|2|6|0\npar|12|90|11|4\n"
+                "run|2|5|42|3|7|1.500\nterm|complete|1|2|6|0\npar|12|90|11|4\nprov|42|97\n"
             ),
             "{text}"
         );
-        assert_eq!(text.lines().count(), 6);
+        assert_eq!(text.lines().count(), 7);
         assert!(
             text.contains("rule|0|path,odd\\pname|4|3|100|49|0.750"),
             "head with a pipe must be escaped: {text}"
+        );
+    }
+
+    #[test]
+    fn pre_provenance_texts_still_parse_with_zero_prov_counters() {
+        // Verbatim output of `to_text` from before the `prov` record
+        // existed — the codec must keep accepting it forever.
+        let fixture = "run|2|5|42|3|7|1.500\n\
+                       term|complete|1|2|6|0\n\
+                       par|12|90|11|4\n\
+                       stratum|0|3|40|7|3|1.250\n\
+                       stratum|1|2|2|0|0|0.125\n\
+                       rule|0|path,odd\\pname|4|3|100|49|0.750\n";
+        let parsed = RunStats::from_text(fixture).unwrap();
+        let mut expected = sample();
+        expected.profile.prov_edges = 0;
+        expected.profile.prov_parents = 0;
+        assert_eq!(parsed, expected);
+        // And a malformed prov record still errors.
+        assert!(
+            RunStats::from_text("run|1|1|1|1|1|1.0\nprov|1\n").is_err(),
+            "short prov record"
+        );
+        assert!(
+            RunStats::from_text("run|1|1|1|1|1|1.0\nprov|a|b\n").is_err(),
+            "non-numeric prov record"
         );
     }
 

@@ -6,6 +6,9 @@
 # 2. Build + test fully offline — proves an empty cargo registry suffices.
 # 3. Observability smoke: a profiled harness run must produce a valid JSON
 #    run report and refresh the repo-root BENCH_*.json perf trajectory.
+# 4. Why-provenance gates: provenance-on output bit-identical to
+#    provenance-off at 1 and 4 threads, derivation trees sound + grounded
+#    against the naive oracle, recording overhead under 2x.
 #
 # Usage: scripts/ci.sh [--skip-tests]
 #
@@ -120,7 +123,22 @@ KGM_GOLDEN_FROZEN=1 cargo test --release --offline -q \
     -p kgm-metalog --test golden_mtv >/dev/null
 KGM_GOLDEN_FROZEN=1 cargo test --release --offline -q \
     -p kgm-core --test golden_sst >/dev/null
-echo "ok: MTV + SSST goldens match byte-for-byte"
+KGM_GOLDEN_FROZEN=1 cargo test --release --offline -q \
+    -p kgm-finance --test golden_explain >/dev/null
+echo "ok: MTV + SSST + explanation goldens match byte-for-byte"
+
+echo "== why-provenance smoke =="
+# Provenance must be a pure sidecar: the provenance-on chase at 1 and 4
+# worker threads produces the exact fact set (digest, derived-fact count,
+# null count) of the provenance-off baseline, with identical edge counts —
+# paper-harness exits non-zero on any divergence. A fixed-seed run of the
+# explanations suite then checks, against the independent naive oracle,
+# that every derivation tree is sound and grounded (the suite itself runs
+# each case at 1 and 4 threads).
+"$harness" prov-smoke 1000
+KGM_PROP_SEED=20220046 KGM_PROP_CASES=48 cargo test --release --offline -q \
+    -p kgm-vadalog --test explanations >/dev/null
+echo "ok: provenance-on facts bit-identical at 1 and 4 threads; trees sound + grounded"
 
 echo "== observability smoke =="
 rm -f BENCH_chase.json BENCH_control_pipeline.json \
@@ -138,6 +156,32 @@ cargo run --release --offline -q -p kgm-bench --bin paper-harness -- \
     validate-json target/paper-artifacts/run_report_e7.json \
     BENCH_chase.json BENCH_control_pipeline.json
 echo "ok: run report + BENCH mirrors written and valid"
+
+# Provenance overhead gate: the refresh wrote the 400-company chase with
+# and without ProvStore recording; the prov row must stay under 2x the
+# plain row. min_ns is compared — the least noisy statistic a 5-sample
+# in-process bench produces.
+overhead=$(awk '
+    /"group": "chase\/control_vadalog",/ {
+        split($0, a, /"min_ns": /); split(a[2], b, ","); plain = b[1]
+    }
+    /"group": "chase\/control_vadalog_prov",/ {
+        split($0, a, /"min_ns": /); split(a[2], b, ","); prov = b[1]
+    }
+    END {
+        if (plain + 0 == 0 || prov + 0 == 0) { print "missing"; exit }
+        printf "%.2f", prov / plain
+    }
+' BENCH_chase.json)
+if [ "$overhead" = "missing" ]; then
+    echo "ERROR: BENCH_chase.json lacks the control_vadalog/control_vadalog_prov rows" >&2
+    exit 1
+fi
+if ! awk -v r="$overhead" 'BEGIN { exit !(r < 2.0) }'; then
+    echo "ERROR: provenance overhead ${overhead}x exceeds the 2x contract" >&2
+    exit 1
+fi
+echo "ok: provenance-on chase is ${overhead}x the plain chase (< 2x)"
 
 if [ "${KGM_SCALE_SMOKE:-0}" = "1" ]; then
     echo "== registry-scale smoke (KGM_SCALE_SMOKE=1) =="
