@@ -48,6 +48,14 @@
 //!                                     # worker threads must produce the
 //!                                     # exact fact set of the provenance-off
 //!                                     # run, with identical edge counts
+//! paper-harness update [nodes]        # CI gate for incremental view
+//!                                     # maintenance: one fixed incorporation
+//!                                     # plus one shareholding retraction
+//!                                     # applied via Engine::apply_update
+//!                                     # must reproduce the from-scratch
+//!                                     # control relation at 1 and 4 worker
+//!                                     # threads without taking the rebuild
+//!                                     # fallback (default 2000 nodes)
 //! ```
 //!
 //! The `--profile` bench refresh additionally honours `KGM_BENCH_NODES`:
@@ -59,11 +67,14 @@
 //! exit 2) — so CI and the chaos smoke can assert on exit codes.
 
 use kgm_bench::*;
-use kgm_common::{KgmError, Result};
+use kgm_common::{KgmError, Oid, OidSpace, Result, Value};
 use kgm_core::intensional::MaterializationMode;
-use kgm_finance::control::{control_vadalog, control_vadalog_prov, control_vadalog_threads};
+use kgm_finance::control::{
+    control_vadalog, control_vadalog_prov, control_vadalog_threads, load_shareholding,
+    CONTROL_VADALOG,
+};
 use kgm_runtime::telemetry;
-use kgm_vadalog::{explain, render, EngineConfig, FactDb};
+use kgm_vadalog::{explain, parse_program, render, Engine, EngineConfig, FactDb, Update};
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -210,6 +221,68 @@ fn refresh_bench_reports() {
             kgm_runtime::bench::BenchmarkId::from_parameter(scale),
             &gs,
             |b, g| b.iter(|| control_vadalog_threads(g, t).expect("chase bench")),
+        );
+        group.finish();
+    }
+    // Incremental-maintenance trajectory: a full provenance-on
+    // materialization vs a single incorporation update applied to the
+    // already-chased database, at `KGM_BENCH_UPDATE_NODES` registry scale
+    // (default 2000 so a plain `--profile` run stays quick; the committed
+    // registry-scale rows are produced with KGM_BENCH_UPDATE_NODES=100000).
+    // CI pins update/full below 0.10 — the point of incremental maintenance
+    // is to not pay the full chase again.
+    let uscale = std::env::var("KGM_BENCH_UPDATE_NODES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(2_000);
+    let gu = bench_graph(uscale);
+    {
+        let mut group = criterion.benchmark_group("chase/control_vadalog_full");
+        group.sample_size(5);
+        group.bench_with_input(
+            kgm_runtime::bench::BenchmarkId::from_parameter(uscale),
+            &gu,
+            |b, g| b.iter(|| control_vadalog_prov(g, 1).expect("chase bench")),
+        );
+        group.finish();
+    }
+    {
+        let (engine, mut db, _) =
+            control_vadalog_prov(&gu, 1).expect("update bench materialization");
+        let owner = db
+            .facts_iter("company")
+            .next()
+            .expect("registry has companies")[0]
+            .clone();
+        let mut serial = 0u64;
+        let mut group = criterion.benchmark_group("chase/control_vadalog_update");
+        group.sample_size(5);
+        group.bench_function(
+            kgm_runtime::bench::BenchmarkId::from_parameter(uscale),
+            |b| {
+                b.iter(|| {
+                    // Every iteration incorporates a *distinct* company so
+                    // the update is never a no-op dedup hit.
+                    serial += 1;
+                    let newco =
+                        Value::Oid(Oid::new(OidSpace::Ground, (1 << 40) + serial));
+                    engine
+                        .apply_update(
+                            &mut db,
+                            Update {
+                                inserts: vec![
+                                    ("company".to_string(), vec![newco.clone()]),
+                                    (
+                                        "own".to_string(),
+                                        vec![owner.clone(), newco, Value::Float(0.6)],
+                                    ),
+                                ],
+                                deletes: Vec::new(),
+                            },
+                        )
+                        .expect("update bench")
+                })
+            },
         );
         group.finish();
     }
@@ -434,6 +507,101 @@ fn run_prov_smoke(nodes: usize) -> Result<ExitCode> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `update [nodes]` — the CI gate for incremental view maintenance:
+/// materialize Example 4.2 over the seeded registry with provenance on,
+/// apply one fixed corporate event (a new company 60%-owned by the first
+/// registered company, plus retraction of the registry's first shareholding
+/// edge), and require the incrementally maintained control relation to
+/// match a from-scratch chase over the updated input — at 1 and 4 worker
+/// threads, without ever taking the rebuild fallback. Exits non-zero on
+/// divergence or fallback.
+fn run_update_smoke(nodes: usize) -> Result<ExitCode> {
+    let g = bench_graph(nodes);
+    println!("update-smoke: {nodes} nodes, {} OWNS edges", g.edge_count());
+    for t in [1usize, 4] {
+        let t0 = std::time::Instant::now();
+        let (engine, mut db, _) = control_vadalog_prov(&g, t)?;
+        let full_secs = t0.elapsed().as_secs_f64();
+        let owner = db
+            .facts_iter("company")
+            .next()
+            .ok_or_else(|| {
+                KgmError::Internal("update-smoke: registry has no companies".into())
+            })?[0]
+            .clone();
+        // Retract a majority stake when one exists: such an edge necessarily
+        // supports a derived control fact, so the deletion exercises the
+        // real DRed over-delete/re-derive cycle, not just an EDB tombstone.
+        let gone = db
+            .facts_iter("own")
+            .find(|f| f[2].as_f64().is_some_and(|w| w > 0.5))
+            .or_else(|| db.facts_iter("own").next())
+            .ok_or_else(|| {
+                KgmError::Internal("update-smoke: registry has no shareholdings".into())
+            })?;
+        let newco = Value::Oid(Oid::new(OidSpace::Ground, 1 << 40));
+        let incorporation = vec![
+            ("company".to_string(), vec![newco.clone()]),
+            (
+                "own".to_string(),
+                vec![owner.clone(), newco.clone(), Value::Float(0.6)],
+            ),
+        ];
+        let t0 = std::time::Instant::now();
+        let stats = engine.apply_update(
+            &mut db,
+            Update {
+                inserts: incorporation.clone(),
+                deletes: vec![("own".to_string(), gone.clone())],
+            },
+        )?;
+        let update_secs = t0.elapsed().as_secs_f64();
+        println!(
+            "  t{t}: full chase {full_secs:.2}s, update {update_secs:.3}s \
+             ({} inserted, {} deleted, {} over-deleted, {} re-derived)",
+            stats.profile.update_inserted,
+            stats.profile.update_deleted,
+            stats.profile.update_overdeleted,
+            stats.profile.update_rederived,
+        );
+        if stats.profile.update_fallbacks != 0 {
+            eprintln!("update-smoke: t{t} took the rebuild fallback");
+            return Ok(ExitCode::FAILURE);
+        }
+        let incremental = control_digest(&control_pairs(&db));
+        // From-scratch reference: the same registry minus the retracted
+        // edge, plus the incorporation facts, chased from nothing.
+        let mut loaded = FactDb::new();
+        load_shareholding(&g, &mut loaded)?;
+        let mut companies: Vec<Vec<Value>> = loaded.facts_iter("company").collect();
+        companies.push(vec![newco.clone()]);
+        let mut own: Vec<Vec<Value>> =
+            loaded.facts_iter("own").filter(|f| *f != gone).collect();
+        own.push(incorporation[1].1.clone());
+        let mut scratch = FactDb::new();
+        scratch.add_facts("company", companies)?;
+        scratch.add_facts("own", own)?;
+        let reference = Engine::with_config(
+            parse_program(CONTROL_VADALOG)?,
+            EngineConfig {
+                threads: t,
+                ..Default::default()
+            },
+        )?;
+        reference.run(&mut scratch)?;
+        let from_scratch = control_digest(&control_pairs(&scratch));
+        if incremental != from_scratch {
+            eprintln!(
+                "update-smoke: t{t} incremental digest {incremental:016x} \
+                 != from-scratch {from_scratch:016x}"
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    println!("update-smoke: incremental maintenance matches from-scratch at 1 and 4 threads");
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Assemble the machine-readable run report: captured span trees plus the
 /// global metrics snapshot.
 fn run_report_json(cmd: &str, spans: &[telemetry::SpanNode]) -> String {
@@ -517,6 +685,10 @@ fn run_cli() -> Result<ExitCode> {
     if cmd == "prov-smoke" {
         let nodes = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
         return run_prov_smoke(nodes);
+    }
+    if cmd == "update" {
+        let nodes = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+        return run_update_smoke(nodes);
     }
     if trace {
         telemetry::force_trace(true);

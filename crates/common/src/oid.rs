@@ -152,6 +152,20 @@ impl OidGen {
         }
     }
 
+    /// A generator that continues a previous one: the next [`fresh`] call
+    /// mints payload `minted + 1`, where `minted` is the prior generator's
+    /// [`count`]. Resuming an incremental chase must not re-mint payloads
+    /// already embedded in stored facts.
+    ///
+    /// [`fresh`]: OidGen::fresh
+    /// [`count`]: OidGen::count
+    pub fn resume(space: OidSpace, minted: u64) -> Self {
+        OidGen {
+            space,
+            next: AtomicU64::new(minted + 1),
+        }
+    }
+
     /// Mint the next OID.
     pub fn fresh(&self) -> Oid {
         let payload = self.next.fetch_add(1, Ordering::Relaxed);
@@ -210,6 +224,18 @@ mod tests {
         assert!(a.payload() < b.payload());
         assert!(a.is_null());
         assert_eq!(g.count(), 2);
+    }
+
+    #[test]
+    fn resumed_generator_never_remints_prior_payloads() {
+        let g = OidGen::new(OidSpace::Null);
+        let a = g.fresh();
+        let b = g.fresh();
+        let resumed = OidGen::resume(OidSpace::Null, g.count());
+        assert_eq!(resumed.count(), g.count());
+        let c = resumed.fresh();
+        assert!(c.payload() > a.payload() && c.payload() > b.payload());
+        assert_eq!(resumed.count(), 3);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 fn env_usize(key: &str) -> Option<usize> {
-    std::env::var(key).ok().and_then(|v| v.parse().ok())
+    crate::env::parsed(key, "an unsigned integer")
 }
 
 /// One finished benchmark: identity plus per-iteration timings (ns).

@@ -24,6 +24,7 @@
 //! sharding preserves input order.
 
 pub mod bench;
+pub mod env;
 pub mod fault;
 pub mod json;
 pub mod par;

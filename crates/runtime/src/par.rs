@@ -17,16 +17,20 @@ pub fn default_threads() -> usize {
 }
 
 /// The worker count requested through the `KGM_THREADS` environment
-/// variable, falling back to [`default_threads`] when unset, unparsable, or
-/// zero. This is the one knob every parallel consumer (the chase engine, the
-/// paper harness) reads, so `KGM_THREADS=1 …` forces any pipeline
-/// sequential.
+/// variable, falling back to [`default_threads`] when unset. This is the
+/// one knob every parallel consumer (the chase engine, the paper harness)
+/// reads, so `KGM_THREADS=1 …` forces any pipeline sequential. A malformed
+/// or zero value is reported loudly (stderr + `config.env.invalid`
+/// counter, see [`crate::env`]) before the fallback applies.
 pub fn threads_from_env() -> usize {
-    std::env::var("KGM_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(default_threads)
+    match crate::env::parsed::<usize>("KGM_THREADS", "a worker count >= 1") {
+        Some(0) => {
+            crate::env::invalid("KGM_THREADS", "0", "a worker count >= 1");
+            default_threads()
+        }
+        Some(n) => n,
+        None => default_threads(),
+    }
 }
 
 /// Split an index range into at most `parts` contiguous sub-ranges of
@@ -105,6 +109,30 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn malformed_or_zero_kgm_threads_warns_and_falls_back() {
+        // One test owns the KGM_THREADS mutations (env vars are
+        // process-global; concurrent tests must not race on this key).
+        let count = || {
+            crate::telemetry::snapshot()
+                .counters
+                .get("config.env.invalid")
+                .copied()
+                .unwrap_or(0)
+        };
+        std::env::set_var("KGM_THREADS", "four");
+        let before = count();
+        assert_eq!(threads_from_env(), default_threads());
+        assert_eq!(count(), before + 1, "malformed value must be reported");
+        std::env::set_var("KGM_THREADS", "0");
+        assert_eq!(threads_from_env(), default_threads());
+        assert_eq!(count(), before + 2, "zero is invalid, not 'default'");
+        std::env::set_var("KGM_THREADS", "3");
+        assert_eq!(threads_from_env(), 3);
+        assert_eq!(count(), before + 2);
+        std::env::remove_var("KGM_THREADS");
+    }
 
     #[test]
     fn shards_cover_all_items_in_order() {

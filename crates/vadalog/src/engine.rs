@@ -27,7 +27,7 @@ use kgm_common::{
 use kgm_runtime::sync::CancelToken;
 use kgm_runtime::telemetry;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -113,9 +113,10 @@ impl Default for EngineConfig {
             require_warded: true,
             threads: kgm_runtime::par::threads_from_env(),
             min_parallel_batch: 256,
-            deadline_ms: std::env::var("KGM_DEADLINE_MS")
-                .ok()
-                .and_then(|v| v.trim().parse().ok()),
+            deadline_ms: kgm_runtime::env::parsed(
+                "KGM_DEADLINE_MS",
+                "milliseconds (an unsigned integer)",
+            ),
             max_stratum_ms: None,
             max_bytes: None,
             strict: false,
@@ -252,6 +253,20 @@ pub struct ChaseProfile {
     pub prov_edges: usize,
     /// Parent fact references across those edges (post-dedup).
     pub prov_parents: usize,
+    /// New EDB facts an [`Engine::apply_update`] call inserted (0 for plain
+    /// runs and for updates whose inserts were all duplicates).
+    pub update_inserted: usize,
+    /// EDB facts an update tombstoned on direct request.
+    pub update_deleted: usize,
+    /// Derived facts DRed over-deletion tombstoned as (transitively)
+    /// supported by a deleted fact.
+    pub update_overdeleted: usize,
+    /// Over-deleted facts the re-derivation pass brought back through an
+    /// alternative support (not tracked — 0 — on the fallback path).
+    pub update_rederived: usize,
+    /// 1 when the update could not run incrementally and fell back to a
+    /// tombstone-everything-derived + from-scratch re-derivation.
+    pub update_fallbacks: usize,
 }
 
 /// Chase counters for one stratum.
@@ -291,7 +306,7 @@ pub struct RuleProfile {
     pub elapsed_ms: f64,
 }
 
-struct MonoState {
+pub(crate) struct MonoState {
     contributors: FxHashMap<Vec<Value>, Value>,
     current: Value,
     /// Provenance: parent fact ids of every contributing match so far, in
@@ -300,6 +315,30 @@ struct MonoState {
     /// when provenance is off.
     parents: Vec<FactId>,
 }
+
+/// The chase's resumable evaluation state, persisted on the [`FactDb`] at
+/// the end of every run and consumed by [`Engine::apply_update`]. Holding
+/// it is what lets an update *continue* the Skolem chase instead of
+/// restarting it: resumed runs reuse the labelled-null table (so re-derived
+/// existential facts keep their nulls and the result stays isomorphic to a
+/// from-scratch chase) and never re-mint a null payload already embedded in
+/// stored facts.
+pub(crate) struct ChaseState {
+    /// Token of the [`Engine`] that produced this state; an update through
+    /// a *different* engine is rejected (its rule numbering, strata and
+    /// aggregate modes would reinterpret the state arbitrarily).
+    pub(crate) engine_token: u64,
+    /// Labelled nulls minted so far (the null generator resumes past them).
+    pub(crate) null_count: u64,
+    /// Skolem-chase null table: `(rule, variable, frontier) → null`.
+    pub(crate) nulls: FxHashMap<(usize, Var, Vec<Value>), Oid>,
+    /// Monotonic-aggregate accumulators: `(rule, group) → state`.
+    pub(crate) mono: FxHashMap<(usize, Vec<Value>), MonoState>,
+}
+
+/// Process-unique token minted per [`Engine`] so persisted [`ChaseState`]
+/// can be matched back to the engine that wrote it.
+static ENGINE_TOKENS: AtomicU64 = AtomicU64::new(1);
 
 /// Per-rule precomputed metadata.
 struct RuleMeta {
@@ -449,6 +488,25 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("non-string panic payload")
 }
 
+/// One incremental change to the extensional database, applied by
+/// [`Engine::apply_update`]: facts to retract and facts to assert. Deletes
+/// apply before inserts; deleting an absent fact and inserting a present
+/// one are no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct Update {
+    /// EDB facts to insert, as `(predicate, tuple)` pairs.
+    pub inserts: Vec<(String, Vec<Value>)>,
+    /// EDB facts to delete (with their derived consequences, via DRed).
+    pub deletes: Vec<(String, Vec<Value>)>,
+}
+
+impl Update {
+    /// True when the update changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
 /// The Vadalog reasoner.
 pub struct Engine {
     program: Program,
@@ -456,6 +514,8 @@ pub struct Engine {
     config: EngineConfig,
     skolems: Arc<SkolemRegistry>,
     meta: Vec<RuleMeta>,
+    /// Process-unique identity, stamped into persisted [`ChaseState`].
+    token: u64,
 }
 
 impl Engine {
@@ -555,6 +615,7 @@ impl Engine {
             config,
             skolems: Arc::new(SkolemRegistry::new()),
             meta,
+            token: ENGINE_TOKENS.fetch_add(1, Ordering::Relaxed),
         })
     }
 
@@ -596,6 +657,47 @@ impl Engine {
             self.program.rules.len(),
             self.analysis.stratification.count
         );
+        // Provenance recording must be live before any rule fires; program
+        // facts (like pre-loaded inputs) get no edges — that edge-lessness
+        // is what marks them as EDB leaves in explanation trees.
+        if self.config.provenance {
+            db.enable_provenance();
+        }
+        for f in &self.program.facts {
+            let tuple: Vec<Value> = f
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => v.clone(),
+                    Term::Var(_) => unreachable!("facts are ground"),
+                })
+                .collect();
+            db.insert(&f.predicate, tuple)?;
+        }
+        self.run_inner(db, &root_span, None, None)
+    }
+
+    /// The chase proper, shared by [`Engine::run`] (fresh evaluation) and
+    /// [`Engine::apply_update`] (resumed evaluation).
+    ///
+    /// `seed` switches every stratum from a full first pass to
+    /// delta-restricted passes seeded with the given per-predicate physical
+    /// watermarks — the insert-only incremental path: everything at or past
+    /// a watermark (new EDB facts and this run's own derivations) is the
+    /// delta, everything before it is the already-chased base.
+    ///
+    /// `resume` carries a prior run's [`ChaseState`]: the null generator
+    /// continues past `null_count` (ids already embedded in stored facts
+    /// are never re-minted), and the null/monotonic-aggregate tables pick
+    /// up where the prior run stopped. The (possibly updated) state is
+    /// re-persisted on `db` at the end of every graceful run.
+    fn run_inner(
+        &self,
+        db: &mut FactDb,
+        root_span: &telemetry::SpanGuard,
+        seed: Option<&FxHashMap<String, usize>>,
+        resume: Option<ChaseState>,
+    ) -> Result<RunStats> {
         let t_run = Instant::now();
         let deadline = self
             .config
@@ -630,29 +732,22 @@ impl Engine {
                 ..RuleProfile::default()
             })
             .collect();
-        // Provenance recording must be live before any rule fires; program
-        // facts (like pre-loaded inputs) get no edges — that edge-lessness
-        // is what marks them as EDB leaves in explanation trees.
-        if self.config.provenance {
-            db.enable_provenance();
-        }
         let prov_edges_before = db.prov_edges();
         let prov_parents_before = db.prov_parent_refs();
-        for f in &self.program.facts {
-            let tuple: Vec<Value> = f
-                .terms
-                .iter()
-                .map(|t| match t {
-                    Term::Const(v) => v.clone(),
-                    Term::Var(_) => unreachable!("facts are ground"),
-                })
-                .collect();
-            db.insert(&f.predicate, tuple)?;
-        }
 
-        let null_gen = OidGen::new(OidSpace::Null);
-        let mut nulls: FxHashMap<(usize, Var, Vec<Value>), Oid> = FxHashMap::default();
-        let mut mono: FxHashMap<(usize, Vec<Value>), MonoState> = FxHashMap::default();
+        let (null_gen, mut nulls, mut mono) = match resume {
+            Some(st) => (
+                OidGen::resume(OidSpace::Null, st.null_count),
+                st.nulls,
+                st.mono,
+            ),
+            None => (
+                OidGen::new(OidSpace::Null),
+                FxHashMap::default(),
+                FxHashMap::default(),
+            ),
+        };
+        let nulls_base = null_gen.count() as usize;
 
         let strata = self.analysis.stratification.count;
         stats.strata = strata;
@@ -737,9 +832,14 @@ impl Engine {
                     derived_before, dups_before, nulls_before, null_gen.count() as usize);
                 continue;
             }
-            // Delta bookkeeping: predicate → length before this iteration.
-            let mut watermark: FxHashMap<String, usize> = FxHashMap::default();
-            let mut first = true;
+            // Delta bookkeeping: predicate → physical row count before this
+            // iteration. A seeded run starts every stratum in delta mode:
+            // the seed watermarks (pre-update sizes) make "everything the
+            // update added or derived so far" the first delta.
+            let (mut first, mut watermark) = match seed {
+                None => (true, FxHashMap::default()),
+                Some(base) => (false, base.clone()),
+            };
             let mut reached_fixpoint = false;
             for _iter in 0..self.config.max_iterations {
                 governed!();
@@ -768,7 +868,7 @@ impl Engine {
                         let mut r = Ok(());
                         for (ai, atom) in rule.body.iter().enumerate() {
                             let prev = watermark.get(&atom.predicate).copied().unwrap_or(0);
-                            let cur = db.len(&atom.predicate);
+                            let cur = db.rows_of(&atom.predicate);
                             if cur > prev {
                                 r = self.eval_rule(
                                     db,
@@ -818,7 +918,7 @@ impl Engine {
                     }
                 }
                 for p in preds {
-                    watermark.insert(p.clone(), db.len(p));
+                    watermark.insert(p.clone(), db.rows_of(p));
                 }
                 let emitted = out.len();
                 let inserted = self.insert_out(db, out, prov_out, &mut stats.profile)?;
@@ -845,7 +945,7 @@ impl Engine {
             self.close_stratum(&mut stats, s, &stratum_span, t_stratum, iters_before,
                 derived_before, dups_before, nulls_before, null_gen.count() as usize);
         }
-        stats.nulls_created = null_gen.count() as usize;
+        stats.nulls_created = null_gen.count() as usize - nulls_base;
         stats.elapsed_ms = t_run.elapsed().as_secs_f64() * 1e3;
         if let Some(t) = stop {
             // Hard stop: later strata never ran. Make `strata` honest and
@@ -866,6 +966,15 @@ impl Engine {
             (kgm_runtime::fault::injected_total() - faults_before) as usize;
         stats.profile.prov_edges = db.prov_edges() - prov_edges_before;
         stats.profile.prov_parents = db.prov_parent_refs() - prov_parents_before;
+        // Persist the resume state — truncated runs included: the database
+        // is prefix-consistent, so continuing (or updating) from it later
+        // must still see the minted nulls and accumulated aggregates.
+        db.set_chase_state(ChaseState {
+            engine_token: self.token,
+            null_count: null_gen.count(),
+            nulls,
+            mono,
+        });
         if root_span.is_active() {
             for rp in &stats.profile.rules {
                 if rp.evaluations == 0 {
@@ -977,6 +1086,203 @@ impl Engine {
         Ok((db, stats))
     }
 
+    /// Incrementally maintain a database previously materialized by
+    /// [`Engine::run`] under an EDB [`Update`] — deletions first, then
+    /// insertions — leaving `db` in the state a from-scratch chase over the
+    /// updated input would produce (up to labelled-null renaming).
+    ///
+    /// Three regimes, picked automatically:
+    ///
+    /// - **Insert-only** (the fast path): the new EDB facts become the
+    ///   initial semi-naive delta and every stratum runs delta passes
+    ///   against the persisted [`ChaseState`] — existing derivations are
+    ///   never re-enumerated, so a small update on a large database costs a
+    ///   small fraction of full materialization.
+    /// - **Deletions with provenance on**: DRed-style maintenance. The
+    ///   recorded `(rule, parents)` edges give each derived fact its single
+    ///   recorded support; the downward closure of the deleted facts is
+    ///   over-deleted (tombstoned), then a re-derivation pass restores
+    ///   every fact that still has an alternative support. The number that
+    ///   came back is reported as `update_rederived`.
+    /// - **Fallback** (no persisted state, stratified negation, exact
+    ///   aggregation combined with inserts, or deletions without
+    ///   provenance): every derived row is tombstoned and the chase re-runs
+    ///   from the surviving EDB. Always correct, never incremental;
+    ///   `update_fallbacks` counts it.
+    ///
+    /// The update's effect is recorded in the returned stats
+    /// (`profile.update_*`) and on the `chase.update.*` telemetry
+    /// counters. Requires the same [`Engine`] that materialized `db` when
+    /// persisted state exists — a different engine's rule numbering would
+    /// reinterpret the state arbitrarily, so that call errors instead.
+    pub fn apply_update(&self, db: &mut FactDb, update: Update) -> Result<RunStats> {
+        let root_span = kgm_runtime::span!(
+            "chase.update",
+            "{} inserts, {} deletes",
+            update.inserts.len(),
+            update.deletes.len()
+        );
+        let mut state = db.take_chase_state();
+        if state.as_ref().is_some_and(|st| st.engine_token != self.token) {
+            db.set_chase_state(*state.take().expect("checked above"));
+            return Err(KgmError::Constraint(
+                "apply_update requires the engine that materialized the database: \
+                 the persisted chase state was written by a different engine"
+                    .to_string(),
+            ));
+        }
+        let has_negation = self
+            .program
+            .rules
+            .iter()
+            .any(|r| r.steps.iter().any(|s| matches!(s, RuleStep::Negated(_))));
+        let has_exact_agg = self.meta.iter().any(|m| m.agg_mode == Some(AggMode::Exact));
+        // Negation is non-monotone in both directions; an exact aggregate's
+        // stale output rows are only cleaned up by deletion's over-delete
+        // pass, so inserts alongside one must rebuild; deletions need the
+        // recorded provenance edges to know what a fact supported.
+        let fallback = state.is_none()
+            || has_negation
+            || (has_exact_agg && !update.inserts.is_empty())
+            || (!update.deletes.is_empty() && !self.config.provenance);
+        let mut inserted_new = 0usize;
+        let mut deleted = 0usize;
+        let mut overdeleted = 0usize;
+        let mut rederived = 0usize;
+        let mut stats;
+        if !fallback && update.deletes.is_empty() {
+            // Insert-only: seed every stratum's watermarks with the
+            // pre-update physical sizes, making the new EDB facts (and the
+            // update run's own derivations) the delta.
+            let mut base: FxHashMap<String, usize> = FxHashMap::default();
+            for p in db.predicates() {
+                let n = db.rows_of(&p);
+                base.insert(p, n);
+            }
+            for (pred, tuple) in &update.inserts {
+                if db.insert_ref(pred, tuple)? {
+                    inserted_new += 1;
+                }
+            }
+            let resume = *state.take().expect("fallback covers the missing-state case");
+            stats = self.run_inner(db, &root_span, Some(&base), Some(resume))?;
+        } else if !fallback {
+            // DRed over-deletion: resolve the requested deletions to live
+            // rows, close downward over the recorded provenance edges (the
+            // recorded edge is each fact's single support — first
+            // derivation wins — so a child dies with any parent), then
+            // re-derive; survivors with alternative supports come back.
+            let st = *state.take().expect("fallback covers the missing-state case");
+            let mut seeds: Vec<FactId> = Vec::new();
+            let mut seed_set: FxHashSet<FactId> = FxHashSet::default();
+            for (pred, tuple) in &update.deletes {
+                if let Some(id) = db.find_id(pred, tuple) {
+                    if seed_set.insert(id) {
+                        seeds.push(id);
+                    }
+                }
+            }
+            let mut children: FxHashMap<FactId, Vec<FactId>> = FxHashMap::default();
+            for (child, parents) in db.prov_edges_iter() {
+                for &p in parents {
+                    children.entry(p).or_default().push(child);
+                }
+            }
+            let mut dead = seed_set.clone();
+            let mut queue = seeds.clone();
+            while let Some(f) = queue.pop() {
+                if let Some(kids) = children.get(&f) {
+                    for &k in kids {
+                        if dead.insert(k) {
+                            queue.push(k);
+                        }
+                    }
+                }
+            }
+            for &f in &seeds {
+                if db.tombstone(f) {
+                    deleted += 1;
+                }
+            }
+            // Over-delete the derived remainder, remembering its tuples so
+            // the re-derivation pass can report how many came back.
+            let mut closure_tuples: Vec<(String, Vec<Value>)> = Vec::new();
+            for &f in &dead {
+                if seed_set.contains(&f) {
+                    continue;
+                }
+                let tuple = db.fact_values(f).map(|(p, t)| (p.to_string(), t));
+                if db.tombstone(f) {
+                    overdeleted += 1;
+                    if let Some(pt) = tuple {
+                        closure_tuples.push(pt);
+                    }
+                }
+            }
+            for (pred, tuple) in &update.inserts {
+                if db.insert_ref(pred, tuple)? {
+                    inserted_new += 1;
+                }
+            }
+            // Full re-derivation passes rebuild alternative supports. The
+            // null table is kept (re-derived existential facts reuse their
+            // nulls, so surviving facts referencing them stay linked); the
+            // monotonic-aggregate accumulators are rebuilt from zero — the
+            // old sums may count deleted contributors.
+            let resume = ChaseState {
+                engine_token: self.token,
+                null_count: st.null_count,
+                nulls: st.nulls,
+                mono: FxHashMap::default(),
+            };
+            stats = self.run_inner(db, &root_span, None, Some(resume))?;
+            rederived = closure_tuples
+                .iter()
+                .filter(|(p, t)| db.contains(p, t))
+                .count();
+        } else {
+            // Fallback: tombstone everything rule-derived, forget the
+            // provenance edges, apply the update to the surviving EDB and
+            // re-derive from scratch. The null *counter* still resumes so
+            // fresh nulls never collide with ones embedded in kept rows.
+            overdeleted = db.tombstone_derived();
+            db.clear_prov();
+            for (pred, tuple) in &update.deletes {
+                if let Some(id) = db.find_id(pred, tuple) {
+                    if db.tombstone(id) {
+                        deleted += 1;
+                    }
+                }
+            }
+            for (pred, tuple) in &update.inserts {
+                if db.insert_ref(pred, tuple)? {
+                    inserted_new += 1;
+                }
+            }
+            let resume = ChaseState {
+                engine_token: self.token,
+                null_count: state.map_or(0, |st| st.null_count),
+                nulls: FxHashMap::default(),
+                mono: FxHashMap::default(),
+            };
+            stats = self.run_inner(db, &root_span, None, Some(resume))?;
+        }
+        stats.profile.update_inserted = inserted_new;
+        stats.profile.update_deleted = deleted;
+        stats.profile.update_overdeleted = overdeleted;
+        stats.profile.update_rederived = rederived;
+        stats.profile.update_fallbacks = usize::from(fallback);
+        telemetry::counter_add("chase.update.runs", 1);
+        telemetry::counter_add("chase.update.inserted", inserted_new as i64);
+        telemetry::counter_add("chase.update.deleted", deleted as i64);
+        telemetry::counter_add("chase.update.overdeleted", overdeleted as i64);
+        telemetry::counter_add("chase.update.rederived", rederived as i64);
+        if fallback {
+            telemetry::counter_add("chase.update.fallbacks", 1);
+        }
+        Ok(stats)
+    }
+
     /// Insert a batch of emitted head tuples into `db`, in emission order,
     /// returning how many were new.
     ///
@@ -1024,6 +1330,7 @@ impl Engine {
                             "partitioned merge verdict diverged on `{pred}`"
                         )));
                     };
+                    db.mark_derived(id);
                     if record {
                         let (rule, parents) = &prov[i];
                         db.record_prov(id, *rule, parents);
@@ -1037,6 +1344,7 @@ impl Engine {
                     return Err(KgmError::Internal(format!("{msg} ({pred})")));
                 }
                 if let Some(id) = db.insert_id(&pred, &tuple)? {
+                    db.mark_derived(id);
                     if record {
                         let (rule, parents) = &prov[i];
                         db.record_prov(id, *rule, parents);
@@ -1084,7 +1392,7 @@ impl Engine {
                 0..rule
                     .body
                     .first()
-                    .map(|a| db.len(&a.predicate))
+                    .map(|a| db.rows_of(&a.predicate))
                     .unwrap_or(0),
             ),
         };
@@ -2531,5 +2839,392 @@ mod tests {
         // EDB facts never get edges.
         let edb = db.find_id("own", &own_parents[0].1).unwrap();
         assert!(db.prov_edge(edb).is_none());
+    }
+
+    // ---- incremental updates (apply_update) ----
+
+    const TC_SRC: &str =
+        "edge(X,Y) -> path(X,Y). path(X,Y), edge(Y,Z) -> path(X,Z).";
+
+    const CONTROL_SRC: &str = r#"
+        company(X) -> controls(X, X).
+        controls(X, Z), own(Z, Y, W), V = msum(W, <Z>), V > 0.5
+            -> controls(X, Y).
+        "#;
+
+    fn update_engine(src: &str, provenance: bool) -> Engine {
+        Engine::with_config(
+            parse_program(src).unwrap(),
+            EngineConfig {
+                provenance,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn edge(a: i64, b: i64) -> (String, Vec<Value>) {
+        ("edge".to_string(), vec![Value::Int(a), Value::Int(b)])
+    }
+
+    fn own(z: i64, y: i64, w: f64) -> (String, Vec<Value>) {
+        (
+            "own".to_string(),
+            vec![Value::Int(z), Value::Int(y), Value::Float(w)],
+        )
+    }
+
+    #[test]
+    fn incremental_insert_extends_the_fixpoint_without_fallback() {
+        let engine = update_engine(TC_SRC, false);
+        let (mut db, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2], &[2, 3]]))])
+            .unwrap();
+        let stats = engine
+            .apply_update(
+                &mut db,
+                Update {
+                    inserts: vec![edge(3, 4)],
+                    deletes: vec![],
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.profile.update_inserted, 1);
+        assert_eq!(stats.profile.update_fallbacks, 0);
+        // Exactly the new suffix paths derive: (3,4), (2,4), (1,4).
+        assert_eq!(stats.derived_facts, 3);
+        assert!(db.contains("path", &[Value::Int(1), Value::Int(4)]));
+        let (scratch, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2], &[2, 3], &[3, 4]]))])
+            .unwrap();
+        assert_eq!(crate::oracle::canonical_diff(&db, &scratch), None);
+    }
+
+    #[test]
+    fn incremental_insert_tips_a_monotonic_aggregate() {
+        // Example 4.2 replayed incrementally: the base run leaves a's stake
+        // in c at 30%; the update adds b's 30% and the resumed accumulator
+        // must fold it in (0.3 + 0.3 > 0.5) without re-reading old rows.
+        let engine = update_engine(CONTROL_SRC, false);
+        let (mut db, _) = engine
+            .run_with_facts(&[
+                ("company", ints(&[&[1], &[2], &[3]])),
+                (
+                    "own",
+                    vec![
+                        vec![Value::Int(1), Value::Int(2), Value::Float(0.6)],
+                        vec![Value::Int(1), Value::Int(3), Value::Float(0.3)],
+                    ],
+                ),
+            ])
+            .unwrap();
+        assert!(!db.contains("controls", &[Value::Int(1), Value::Int(3)]));
+        let stats = engine
+            .apply_update(
+                &mut db,
+                Update {
+                    inserts: vec![own(2, 3, 0.3)],
+                    deletes: vec![],
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.profile.update_fallbacks, 0);
+        assert!(
+            db.contains("controls", &[Value::Int(1), Value::Int(3)]),
+            "the resumed msum accumulator must fold the new stake in"
+        );
+    }
+
+    #[test]
+    fn dred_delete_removes_the_downward_closure() {
+        let engine = update_engine(TC_SRC, true);
+        let (mut db, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2], &[2, 3], &[3, 4]]))])
+            .unwrap();
+        let stats = engine
+            .apply_update(
+                &mut db,
+                Update {
+                    inserts: vec![],
+                    deletes: vec![edge(3, 4)],
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.profile.update_deleted, 1);
+        assert_eq!(stats.profile.update_fallbacks, 0);
+        // Everything supported by edge(3,4): path(3,4), path(2,4), path(1,4).
+        assert_eq!(stats.profile.update_overdeleted, 3);
+        assert_eq!(stats.profile.update_rederived, 0);
+        let (scratch, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2], &[2, 3]]))])
+            .unwrap();
+        assert_eq!(crate::oracle::canonical_diff(&db, &scratch), None);
+    }
+
+    #[test]
+    fn dred_rederives_facts_with_alternative_supports() {
+        // Diamond: 1→2→4 and 1→3→4. The recorded support of path(1,4) is
+        // its first derivation (via edge(2,4)), so deleting edge(2,4)
+        // over-deletes it — and the re-derivation pass must bring it back
+        // through the surviving 1→3→4 branch.
+        let engine = update_engine(TC_SRC, true);
+        let (mut db, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2], &[2, 4], &[1, 3], &[3, 4]]))])
+            .unwrap();
+        let stats = engine
+            .apply_update(
+                &mut db,
+                Update {
+                    inserts: vec![],
+                    deletes: vec![edge(2, 4)],
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.profile.update_fallbacks, 0);
+        assert_eq!(stats.profile.update_deleted, 1);
+        // Over-deleted: path(2,4) and path(1,4); only the latter comes back.
+        assert_eq!(stats.profile.update_overdeleted, 2);
+        assert_eq!(stats.profile.update_rederived, 1);
+        assert!(db.contains("path", &[Value::Int(1), Value::Int(4)]));
+        assert!(!db.contains("path", &[Value::Int(2), Value::Int(4)]));
+        let (scratch, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2], &[1, 3], &[3, 4]]))])
+            .unwrap();
+        assert_eq!(crate::oracle::canonical_diff(&db, &scratch), None);
+    }
+
+    #[test]
+    fn dred_delete_untips_a_monotonic_aggregate() {
+        let engine = update_engine(CONTROL_SRC, true);
+        let (mut db, _) = engine
+            .run_with_facts(&[
+                ("company", ints(&[&[1], &[2], &[3]])),
+                (
+                    "own",
+                    vec![
+                        vec![Value::Int(1), Value::Int(2), Value::Float(0.6)],
+                        vec![Value::Int(1), Value::Int(3), Value::Float(0.3)],
+                        vec![Value::Int(2), Value::Int(3), Value::Float(0.3)],
+                    ],
+                ),
+            ])
+            .unwrap();
+        assert!(db.contains("controls", &[Value::Int(1), Value::Int(3)]));
+        let stats = engine
+            .apply_update(
+                &mut db,
+                Update {
+                    inserts: vec![],
+                    deletes: vec![own(2, 3, 0.3)],
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.profile.update_fallbacks, 0);
+        assert!(
+            !db.contains("controls", &[Value::Int(1), Value::Int(3)]),
+            "joint control must lapse with the withdrawn stake"
+        );
+        let (scratch, _) = engine
+            .run_with_facts(&[
+                ("company", ints(&[&[1], &[2], &[3]])),
+                (
+                    "own",
+                    vec![
+                        vec![Value::Int(1), Value::Int(2), Value::Float(0.6)],
+                        vec![Value::Int(1), Value::Int(3), Value::Float(0.3)],
+                    ],
+                ),
+            ])
+            .unwrap();
+        assert_eq!(crate::oracle::canonical_diff(&db, &scratch), None);
+    }
+
+    #[test]
+    fn combined_insert_and_delete_matches_from_scratch() {
+        let engine = update_engine(TC_SRC, true);
+        let (mut db, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2], &[2, 3]]))])
+            .unwrap();
+        let stats = engine
+            .apply_update(
+                &mut db,
+                Update {
+                    inserts: vec![edge(2, 4)],
+                    deletes: vec![edge(2, 3)],
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.profile.update_fallbacks, 0);
+        assert_eq!(stats.profile.update_inserted, 1);
+        assert_eq!(stats.profile.update_deleted, 1);
+        let (scratch, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2], &[2, 4]]))])
+            .unwrap();
+        assert_eq!(crate::oracle::canonical_diff(&db, &scratch), None);
+    }
+
+    #[test]
+    fn delete_without_provenance_falls_back_to_rebuild() {
+        let engine = update_engine(TC_SRC, false);
+        let (mut db, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2], &[2, 3], &[3, 4]]))])
+            .unwrap();
+        let stats = engine
+            .apply_update(
+                &mut db,
+                Update {
+                    inserts: vec![],
+                    deletes: vec![edge(3, 4)],
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.profile.update_fallbacks, 1);
+        // The fallback tombstones every derived row (all 6 paths).
+        assert_eq!(stats.profile.update_overdeleted, 6);
+        let (scratch, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2], &[2, 3]]))])
+            .unwrap();
+        assert_eq!(crate::oracle::canonical_diff(&db, &scratch), None);
+    }
+
+    #[test]
+    fn negation_forces_fallback_and_stays_correct() {
+        // Inserting a(2) must *retract* only_c(2): non-monotone in the
+        // insert direction, so the incremental path refuses and rebuilds.
+        let engine =
+            update_engine("a(X) -> b(X). c(X), not b(X) -> only_c(X).", true);
+        let (mut db, _) = engine
+            .run_with_facts(&[("a", ints(&[&[1]])), ("c", ints(&[&[1], &[2]]))])
+            .unwrap();
+        assert_eq!(db.len("only_c"), 1);
+        let stats = engine
+            .apply_update(
+                &mut db,
+                Update {
+                    inserts: vec![("a".to_string(), vec![Value::Int(2)])],
+                    deletes: vec![],
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.profile.update_fallbacks, 1);
+        assert_eq!(db.len("only_c"), 0);
+        let (scratch, _) = engine
+            .run_with_facts(&[("a", ints(&[&[1], &[2]])), ("c", ints(&[&[1], &[2]]))])
+            .unwrap();
+        assert_eq!(crate::oracle::canonical_diff(&db, &scratch), None);
+    }
+
+    #[test]
+    fn update_rejects_a_foreign_engines_database() {
+        let engine = update_engine(TC_SRC, true);
+        let (mut db, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2]]))])
+            .unwrap();
+        let other = update_engine(TC_SRC, true);
+        let err = other
+            .apply_update(
+                &mut db,
+                Update {
+                    inserts: vec![edge(2, 3)],
+                    deletes: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, KgmError::Constraint(_)), "{err}");
+        // The refusal restores the state: the owning engine still runs the
+        // fast path afterwards.
+        let stats = engine
+            .apply_update(
+                &mut db,
+                Update {
+                    inserts: vec![edge(2, 3)],
+                    deletes: vec![],
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.profile.update_fallbacks, 0);
+        assert!(db.contains("path", &[Value::Int(1), Value::Int(3)]));
+    }
+
+    #[test]
+    fn update_on_a_never_materialized_database_falls_back() {
+        let engine = update_engine(TC_SRC, false);
+        let mut db = FactDb::new();
+        db.add_facts("edge", ints(&[&[1, 2]])).unwrap();
+        let stats = engine
+            .apply_update(
+                &mut db,
+                Update {
+                    inserts: vec![edge(2, 3)],
+                    deletes: vec![],
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.profile.update_fallbacks, 1);
+        assert_eq!(db.len("path"), 3);
+    }
+
+    #[test]
+    fn deleting_an_absent_fact_is_a_noop() {
+        let engine = update_engine(TC_SRC, true);
+        let (mut db, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2], &[2, 3]]))])
+            .unwrap();
+        let before = db_fingerprint(&db);
+        let stats = engine
+            .apply_update(
+                &mut db,
+                Update {
+                    inserts: vec![],
+                    deletes: vec![edge(7, 8)],
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.profile.update_deleted, 0);
+        assert_eq!(stats.profile.update_overdeleted, 0);
+        assert_eq!(db_fingerprint(&db), before);
+        // An empty update is equally inert.
+        let stats = engine.apply_update(&mut db, Update::default()).unwrap();
+        assert_eq!(stats.derived_facts, 0);
+        assert_eq!(db_fingerprint(&db), before);
+    }
+
+    #[test]
+    fn updates_chain_across_calls() {
+        // State re-persists after every update, so a long edit session
+        // stays on the incremental path throughout.
+        let engine = update_engine(TC_SRC, true);
+        let (mut db, _) = engine
+            .run_with_facts(&[("edge", ints(&[&[1, 2]]))])
+            .unwrap();
+        let mut edges: Vec<(i64, i64)> = vec![(1, 2)];
+        for (ins, del) in [
+            ((2, 3), None),
+            ((3, 4), None),
+            ((4, 5), Some((2, 3))),
+            ((2, 4), None),
+        ] {
+            let deletes = del.map(|(a, b)| edge(a, b)).into_iter().collect();
+            let stats = engine
+                .apply_update(
+                    &mut db,
+                    Update {
+                        inserts: vec![edge(ins.0, ins.1)],
+                        deletes,
+                    },
+                )
+                .unwrap();
+            assert_eq!(stats.profile.update_fallbacks, 0);
+            edges.push(ins);
+            if let Some(d) = del {
+                edges.retain(|&e| e != d);
+            }
+        }
+        let rows: Vec<Vec<Value>> = edges
+            .iter()
+            .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+            .collect();
+        let (scratch, _) = engine.run_with_facts(&[("edge", rows)]).unwrap();
+        assert_eq!(crate::oracle::canonical_diff(&db, &scratch), None);
     }
 }

@@ -26,6 +26,17 @@
 //! `FxHashSet<Vec<Value>>` predecessor. A frozen `FactDb` is `Sync`; shard
 //! workers probe columns, dedup table and posting lists concurrently without
 //! locks.
+//!
+//! **Tombstones (incremental maintenance).** Deletion never compacts: a
+//! deleted fact keeps its row — and therefore its [`FactId`] — forever, but
+//! is marked dead in a per-relation bitmap. Dead rows are invisible to dedup
+//! probes ([`FactDb::contains`] / [`FactDb::find_id`]), to `lookup`
+//! candidates, to fact iteration, and to the live counts ([`FactDb::len`],
+//! [`FactDb::total_facts`]); the physical row space — which the engine's
+//! semi-naive watermarks and delta ranges are defined over — stays reachable
+//! through `rows_of`. A tombstoned tuple's dedup slot is *not* recycled, so
+//! re-inserting the same tuple appends a fresh row under a fresh id: ids name
+//! insertion events, not tuples.
 
 use kgm_common::{FxHashMap, FxHashSet, FxHasher, KgmError, Result, Value, ValuePool};
 use std::hash::Hasher;
@@ -36,10 +47,59 @@ const EMPTY: u32 = u32::MAX;
 
 /// Dense identity of one stored fact: the owning relation's predicate id in
 /// the high 32 bits, the row index in the low 32. Ids are stable for the
-/// lifetime of the database (facts are never deleted) and cheap to hand to
-/// the provenance layer — packing beats a `(String, usize)` pair on both
-/// size and hash cost.
+/// lifetime of the database (rows are never *reused* — deletion tombstones a
+/// row but never reassigns its index) and cheap to hand to the provenance
+/// layer — packing beats a `(String, usize)` pair on both size and hash
+/// cost. The packing caps a database at [`MAX_PREDICATES`] relations of
+/// [`MAX_ROWS_PER_RELATION`] rows each; inserts beyond either cap fail with
+/// [`KgmError::ResourceExhausted`] instead of silently truncating the id.
 pub type FactId = u64;
+
+/// Hard row cap per relation implied by the 32-bit row half of [`FactId`].
+/// Row `u32::MAX` doubles as the dedup table's empty-slot sentinel, so the
+/// cap sits one short of `2^32`.
+pub const MAX_ROWS_PER_RELATION: usize = u32::MAX as usize;
+
+/// Hard predicate cap implied by the 32-bit predicate half of [`FactId`].
+pub const MAX_PREDICATES: usize = u32::MAX as usize;
+
+/// Reject the insertion of row number `rows` (0-based count so far) into
+/// `predicate` once the [`FactId`] row space is exhausted.
+fn guard_row_capacity(predicate: &str, rows: usize) -> Result<()> {
+    if rows >= MAX_ROWS_PER_RELATION {
+        return Err(KgmError::ResourceExhausted(format!(
+            "relation `{predicate}` is full: {rows} rows exhaust the 32-bit FactId row space"
+        )));
+    }
+    Ok(())
+}
+
+/// Reject the creation of predicate number `count` (0-based count so far)
+/// once the [`FactId`] predicate space is exhausted.
+fn guard_pred_capacity(count: usize) -> Result<()> {
+    if count >= MAX_PREDICATES {
+        return Err(KgmError::ResourceExhausted(format!(
+            "predicate limit reached: {count} relations exhaust the 32-bit FactId predicate space"
+        )));
+    }
+    Ok(())
+}
+
+/// Test a bit in a lazily-sized bitmap (absent words read as zero).
+#[inline]
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits.get(i >> 6).is_some_and(|w| (w >> (i & 63)) & 1 == 1)
+}
+
+/// Set a bit in a lazily-sized bitmap, growing it on demand.
+#[inline]
+fn bit_set(bits: &mut Vec<u64>, i: usize) {
+    let w = i >> 6;
+    if bits.len() <= w {
+        bits.resize(w + 1, 0);
+    }
+    bits[w] |= 1 << (i & 63);
+}
 
 /// Pack a `(predicate id, row)` pair into a [`FactId`].
 #[inline]
@@ -116,9 +176,38 @@ impl ProvStore {
         self.parents.len()
     }
 
-    /// Heap footprint: the parent arena plus the index map.
+    /// Drop the edge of `fact` — a tombstoned fact must not explain anything
+    /// anymore. The parent slice stays behind as arena garbage: deletion
+    /// batches are small relative to the arena, and the fallback path that
+    /// deletes wholesale calls [`ProvStore::clear`] instead.
+    pub(crate) fn remove(&mut self, fact: FactId) {
+        self.index.remove(&fact);
+    }
+
+    /// Forget every edge (used when the engine re-derives from scratch).
+    pub(crate) fn clear(&mut self) {
+        self.index.clear();
+        self.parents.clear();
+    }
+
+    /// Iterate all recorded edges as `(child, parents)` pairs, in no
+    /// particular order. The DRed over-deletion pass builds its reverse
+    /// adjacency from this.
+    pub(crate) fn edges_iter(&self) -> impl Iterator<Item = (FactId, &[FactId])> + '_ {
+        self.index.iter().map(move |(&fact, &(_, start, len))| {
+            (fact, &self.parents[start as usize..(start + len) as usize])
+        })
+    }
+
+    /// Heap footprint: the parent arena, the index map, and the scratch
+    /// dedup set. The scratch set grows to the widest edge ever recorded
+    /// and previously went uncounted; set slots cost the 8-byte key plus
+    /// hashbrown's control byte and capacity slack, folded into a flat 9
+    /// bytes (the map idiom from `ValuePool::approx_bytes`).
     fn approx_bytes(&self) -> usize {
-        self.parents.capacity() * 8 + self.index.capacity() * (8 + 12 + 8)
+        self.parents.capacity() * 8
+            + self.index.capacity() * (8 + 12 + 8)
+            + self.scratch.capacity() * 9
     }
 }
 
@@ -178,6 +267,15 @@ pub(crate) struct Relation {
     /// Open-addressing dedup table over `row_hash`; power-of-two length.
     table: Vec<u32>,
     indexes: FxHashMap<Vec<usize>, Index>,
+    /// Tombstone bitmap (lazily sized): dead rows stay physically present
+    /// but are invisible to probes, lookups, iteration and live counts.
+    dead: Vec<u64>,
+    /// Number of set bits in `dead`; `== 0` keeps every read path on the
+    /// zero-overhead pre-tombstone code.
+    dead_rows: usize,
+    /// Rows inserted by rule firings (as opposed to loaded EDB facts); the
+    /// incremental-update fallback tombstones exactly these.
+    derived: Vec<u64>,
 }
 
 impl Relation {
@@ -189,12 +287,43 @@ impl Relation {
             row_hash: Vec::new(),
             table: Vec::new(),
             indexes: FxHashMap::default(),
+            dead: Vec::new(),
+            dead_rows: 0,
+            derived: Vec::new(),
         }
     }
 
-    /// Number of tuples (rows).
+    /// Number of physical rows, dead ones included. Delta ranges, watermarks
+    /// and [`FactId`] rows are defined over this space.
     pub(crate) fn rows(&self) -> usize {
         self.row_hash.len()
+    }
+
+    /// Number of live (non-tombstoned) tuples.
+    pub(crate) fn live(&self) -> usize {
+        self.row_hash.len() - self.dead_rows
+    }
+
+    /// True if `row` is tombstoned.
+    #[inline]
+    pub(crate) fn is_dead(&self, row: usize) -> bool {
+        self.dead_rows > 0 && bit_get(&self.dead, row)
+    }
+
+    /// Tombstone `row`; returns `false` if it already was dead.
+    fn mark_dead(&mut self, row: usize) -> bool {
+        if bit_get(&self.dead, row) {
+            return false;
+        }
+        bit_set(&mut self.dead, row);
+        self.dead_rows += 1;
+        true
+    }
+
+    /// True if `row` was marked as rule-derived.
+    #[inline]
+    fn is_derived_row(&self, row: usize) -> bool {
+        bit_get(&self.derived, row)
     }
 
     /// The id at `(row, col)`.
@@ -211,7 +340,9 @@ impl Relation {
             .all(|(c, &k)| class[c[row] as usize] == k)
     }
 
-    /// Row index of a tuple given its packed **class-id** key, if present.
+    /// Row index of a *live* tuple given its packed **class-id** key, if
+    /// present. A dead row matching the key does not end the probe — a live
+    /// re-insert of the same tuple may sit in a later slot.
     fn find(&self, h: u64, key: &[u64], class: &[u64]) -> Option<u32> {
         if self.table.is_empty() {
             return None;
@@ -224,6 +355,7 @@ impl Relation {
                 r => {
                     if self.row_hash[r as usize] == h
                         && self.row_eq(r as usize, key, class)
+                        && !self.is_dead(r as usize)
                     {
                         return Some(r);
                     }
@@ -234,6 +366,8 @@ impl Relation {
     }
 
     /// Keep the table under 7/8 load, rehashing from the stored row hashes.
+    /// Tombstoned rows drop out of the table here — growth is when their
+    /// probe-chain cost is reclaimed.
     fn grow_table(&mut self) {
         let need = (self.row_hash.len() + 1) * 8;
         if need <= self.table.len() * 7 {
@@ -243,7 +377,12 @@ impl Relation {
         self.table.clear();
         self.table.resize(new_len, EMPTY);
         let mask = new_len - 1;
+        let dead = &self.dead;
+        let any_dead = self.dead_rows > 0;
         for (row, &h) in self.row_hash.iter().enumerate() {
+            if any_dead && bit_get(dead, row) {
+                continue;
+            }
             let mut slot = (h as usize) & mask;
             while self.table[slot] != EMPTY {
                 slot = (slot + 1) & mask;
@@ -252,21 +391,11 @@ impl Relation {
         }
     }
 
-    /// Insert a packed tuple (exact ids to store, class-id key to dedup on);
-    /// returns `true` if it was new.
-    fn insert_ids(&mut self, ids: &[u64], key: &[u64], class: &[u64]) -> bool {
-        let h = hash_ids(key);
-        if self.find(h, key, class).is_some() {
-            return false;
-        }
-        self.append_row(h, ids);
-        true
-    }
-
-    /// Append a row known (by the caller) to be absent. Still probes for an
-    /// empty slot but skips nothing else; used by the partitioned merge after
-    /// the parallel dedup phase has already issued an "insert" verdict.
+    /// Append a row known (by the caller) to be absent and under the row
+    /// cap. Still probes for an empty slot but skips nothing else; used by
+    /// the single insert path after its dedup probe and capacity guard.
     fn append_row(&mut self, h: u64, ids: &[u64]) {
+        debug_assert!(self.row_hash.len() < MAX_ROWS_PER_RELATION);
         self.grow_table();
         let row = self.row_hash.len() as u32;
         let mask = self.table.len() - 1;
@@ -309,8 +438,28 @@ impl Relation {
     /// to `range`, ascending. Read-only: where the posting list covers the
     /// whole range a borrowed sub-slice comes back (postings are ascending,
     /// so the range restriction is two binary searches); the unindexed tail
-    /// is scanned linearly.
+    /// is scanned linearly. Tombstoned rows are filtered out; when none
+    /// exist (`dead_rows == 0`, the overwhelmingly common case) the filter
+    /// costs nothing — the raw candidates pass through untouched.
     pub(crate) fn lookup(
+        &self,
+        positions: &[usize],
+        key: &[u64],
+        range: &Range<usize>,
+        class: &[u64],
+    ) -> Candidates<'_> {
+        let raw = self.lookup_all(positions, key, range, class);
+        if self.dead_rows == 0 {
+            return raw;
+        }
+        let live: Vec<u32> = raw.filter(|&r| !bit_get(&self.dead, r as usize)).collect();
+        Candidates::Owned(live.into_iter())
+    }
+
+    /// [`Relation::lookup`] over the physical row space (dead rows
+    /// included). Postings cover dead rows too — they are filtered at the
+    /// visibility layer, not rebuilt on deletion.
+    fn lookup_all(
         &self,
         positions: &[usize],
         key: &[u64],
@@ -366,7 +515,8 @@ impl Relation {
                 idx.map.capacity() * per_entry + idx.built_upto * 6
             })
             .sum();
-        cols + dedup + indexes
+        let bitmaps = (self.dead.capacity() + self.derived.capacity()) * 8;
+        cols + dedup + indexes + bitmaps
     }
 }
 
@@ -398,6 +548,11 @@ pub struct FactDb {
     total: usize,
     scratch: Vec<u64>,
     scratch_class: Vec<u64>,
+    /// Resume state the engine persists after materializing this database
+    /// (labelled-null keys, monotonic-aggregate accumulators, null counter),
+    /// consumed by `Engine::apply_update` to continue the chase instead of
+    /// restarting it. Boxed: most databases never run incrementally.
+    chase_state: Option<Box<crate::engine::ChaseState>>,
 }
 
 impl FactDb {
@@ -420,13 +575,24 @@ impl FactDb {
     /// Insert one fact and return its [`FactId`] if it was new (`None` for
     /// duplicates). The provenance layer needs the id of a *just-inserted*
     /// fact to key its derivation edge.
+    ///
+    /// Errors with [`KgmError::ResourceExhausted`] when the insert would
+    /// exceed the [`FactId`] packing caps — [`MAX_ROWS_PER_RELATION`] rows
+    /// per relation or [`MAX_PREDICATES`] relations. A *duplicate* of a
+    /// stored tuple is still `Ok(None)` at the cap: capacity only gates
+    /// growth.
     pub fn insert_id(&mut self, predicate: &str, tuple: &[Value]) -> Result<Option<FactId>> {
+        use std::collections::hash_map::Entry;
         let pred_names = &mut self.pred_names;
-        let rel = self.rels.entry(predicate.to_string()).or_insert_with(|| {
-            let pid = pred_names.len() as u32;
-            pred_names.push(predicate.to_string());
-            Relation::new(tuple.len(), pid)
-        });
+        let rel = match self.rels.entry(predicate.to_string()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                guard_pred_capacity(pred_names.len())?;
+                let pid = pred_names.len() as u32;
+                pred_names.push(predicate.to_string());
+                e.insert(Relation::new(tuple.len(), pid))
+            }
+        };
         if rel.arity != tuple.len() {
             return Err(KgmError::Schema(format!(
                 "predicate `{predicate}` has arity {}, got tuple of length {}",
@@ -441,11 +607,15 @@ impl FactDb {
             self.scratch.push(id);
             self.scratch_class.push(self.pool.class(id));
         }
-        let new =
-            rel.insert_ids(&self.scratch, &self.scratch_class, self.pool.classes());
-        if !new {
+        let h = hash_ids(&self.scratch_class);
+        if rel
+            .find(h, &self.scratch_class, self.pool.classes())
+            .is_some()
+        {
             return Ok(None);
         }
+        guard_row_capacity(predicate, rel.rows())?;
+        rel.append_row(h, &self.scratch);
         self.total += 1;
         Ok(Some(fact_id(rel.pred_id, (rel.rows() - 1) as u32)))
     }
@@ -485,7 +655,8 @@ impl FactDb {
         self.facts_after_iter(predicate, start).collect()
     }
 
-    /// Streaming view of the facts of `predicate` from index `start` on.
+    /// Streaming view of the facts of `predicate` from physical row `start`
+    /// on. Tombstoned rows are skipped.
     pub fn facts_after_iter(
         &self,
         predicate: &str,
@@ -493,16 +664,26 @@ impl FactDb {
     ) -> impl Iterator<Item = Vec<Value>> + '_ {
         let rel = self.rels.get(predicate);
         let rows = rel.map_or(0, Relation::rows);
-        (start.min(rows)..rows).map(move |row| {
-            let rel = rel.expect("rows > 0 implies the relation exists");
-            (0..rel.arity)
-                .map(|c| self.pool.get(rel.id_at(row, c)).clone())
-                .collect()
-        })
+        (start.min(rows)..rows)
+            .filter(move |&row| !rel.is_some_and(|r| r.is_dead(row)))
+            .map(move |row| {
+                let rel = rel.expect("rows > 0 implies the relation exists");
+                (0..rel.arity)
+                    .map(|c| self.pool.get(rel.id_at(row, c)).clone())
+                    .collect()
+            })
     }
 
-    /// Number of facts for `predicate`.
+    /// Number of live facts for `predicate`.
     pub fn len(&self, predicate: &str) -> usize {
+        self.rels.get(predicate).map(Relation::live).unwrap_or(0)
+    }
+
+    /// Number of *physical* rows of `predicate`, tombstoned ones included.
+    /// The engine's semi-naive watermarks and delta ranges run over physical
+    /// row indexes, which [`FactDb::len`] no longer exposes once a database
+    /// has seen deletions.
+    pub(crate) fn rows_of(&self, predicate: &str) -> usize {
         self.rels.get(predicate).map(Relation::rows).unwrap_or(0)
     }
 
@@ -511,7 +692,7 @@ impl FactDb {
         self.total == 0
     }
 
-    /// Total fact count across predicates.
+    /// Total live fact count across predicates.
     pub fn total_facts(&self) -> usize {
         self.total
     }
@@ -560,7 +741,9 @@ impl FactDb {
     }
 
     /// Resolve a [`FactId`] back to `(predicate, tuple)`. `None` for ids
-    /// that don't name a stored fact.
+    /// that don't name a stored row. Deliberately *physical*: a tombstoned
+    /// row still resolves, so deletion passes can read back the tuples they
+    /// just removed (e.g. to check which ones were re-derived).
     pub fn fact_values(&self, id: FactId) -> Option<(&str, Vec<Value>)> {
         let pred = self.pred_names.get(fact_pred(id) as usize)?;
         let rel = self.rels.get(pred)?;
@@ -572,6 +755,75 @@ impl FactDb {
             .map(|c| self.pool.get(rel.id_at(row, c)).clone())
             .collect();
         Some((pred.as_str(), tuple))
+    }
+
+    // -----------------------------------------------------------------
+    // Tombstones & incremental-update support
+    // -----------------------------------------------------------------
+
+    /// Tombstone the fact `id`: it disappears from probes, lookups,
+    /// iteration and counts, and its provenance edge (if any) is dropped.
+    /// Returns `false` if the id names no live row (already dead, row out
+    /// of range, unknown predicate) — tombstoning is idempotent.
+    pub(crate) fn tombstone(&mut self, id: FactId) -> bool {
+        let Some(pred) = self.pred_names.get(fact_pred(id) as usize) else {
+            return false;
+        };
+        let Some(rel) = self.rels.get_mut(pred) else {
+            return false;
+        };
+        let row = fact_row(id) as usize;
+        if row >= rel.rows() || !rel.mark_dead(row) {
+            return false;
+        }
+        self.total -= 1;
+        if let Some(p) = self.prov.as_mut() {
+            p.remove(id);
+        }
+        true
+    }
+
+    /// Mark the fact `id` as rule-derived (as opposed to loaded EDB). The
+    /// engine calls this on every successful rule-head insert; the marks
+    /// let [`FactDb::tombstone_derived`] wipe exactly the derived portion.
+    pub(crate) fn mark_derived(&mut self, id: FactId) {
+        let Some(pred) = self.pred_names.get(fact_pred(id) as usize) else {
+            return;
+        };
+        if let Some(rel) = self.rels.get_mut(pred) {
+            bit_set(&mut rel.derived, fact_row(id) as usize);
+        }
+    }
+
+    /// Tombstone every row marked derived (dropping their provenance
+    /// edges); returns how many were newly tombstoned. This is the
+    /// "rewind to EDB" primitive behind the incremental-update fallback:
+    /// what survives is exactly the loaded input, ready for a from-scratch
+    /// re-derivation.
+    pub(crate) fn tombstone_derived(&mut self) -> usize {
+        let mut n = 0;
+        for rel in self.rels.values_mut() {
+            for row in 0..rel.rows() {
+                if rel.is_derived_row(row) && rel.mark_dead(row) {
+                    n += 1;
+                    if let Some(p) = self.prov.as_mut() {
+                        p.remove(fact_id(rel.pred_id, row as u32));
+                    }
+                }
+            }
+        }
+        self.total -= n;
+        n
+    }
+
+    /// Store the engine's resume state (overwriting any previous state).
+    pub(crate) fn set_chase_state(&mut self, state: crate::engine::ChaseState) {
+        self.chase_state = Some(Box::new(state));
+    }
+
+    /// Take the engine's resume state, leaving `None` behind.
+    pub(crate) fn take_chase_state(&mut self) -> Option<Box<crate::engine::ChaseState>> {
+        self.chase_state.take()
     }
 
     // -----------------------------------------------------------------
@@ -615,6 +867,20 @@ impl FactDb {
     /// Total parent references across recorded provenance edges.
     pub fn prov_parent_refs(&self) -> usize {
         self.prov.as_ref().map_or(0, ProvStore::parent_refs)
+    }
+
+    /// Iterate all recorded provenance edges as `(child, parents)` pairs
+    /// (empty when provenance is off). Order is unspecified.
+    pub(crate) fn prov_edges_iter(&self) -> impl Iterator<Item = (FactId, &[FactId])> + '_ {
+        self.prov.iter().flat_map(ProvStore::edges_iter)
+    }
+
+    /// Forget every provenance edge (used by the incremental-update
+    /// fallback before re-deriving from scratch). Recording stays enabled.
+    pub(crate) fn clear_prov(&mut self) {
+        if let Some(p) = self.prov.as_mut() {
+            p.clear();
+        }
     }
 
     /// All predicate names, sorted.
@@ -913,6 +1179,134 @@ mod tests {
         assert_eq!(db.prov_edge(d), Some((2, &[e1, e2][..])), "first derivation wins");
         assert_eq!(db.prov_edge(e1), None, "EDB facts stay edge-less");
         assert_eq!((db.prov_edges(), db.prov_parent_refs()), (1, 2));
+    }
+
+    #[test]
+    fn capacity_guards_name_the_exhausted_space() {
+        // The caps themselves (2^32 rows / predicates) are unreachable in a
+        // test, so the guard functions are exercised directly — insert_id
+        // calls them with exactly these arguments at the boundary.
+        assert!(guard_row_capacity("p", MAX_ROWS_PER_RELATION - 1).is_ok());
+        let err = guard_row_capacity("p", MAX_ROWS_PER_RELATION).unwrap_err();
+        assert!(
+            matches!(&err, KgmError::ResourceExhausted(m) if m.contains("`p`")),
+            "{err}"
+        );
+        assert!(guard_pred_capacity(MAX_PREDICATES - 1).is_ok());
+        let err = guard_pred_capacity(MAX_PREDICATES).unwrap_err();
+        assert!(matches!(err, KgmError::ResourceExhausted(_)), "{err}");
+        // Row u32::MAX stays free for the dedup table's EMPTY sentinel.
+        assert_eq!(MAX_ROWS_PER_RELATION, EMPTY as usize);
+    }
+
+    #[test]
+    fn tombstoned_rows_vanish_from_every_read_path() {
+        let mut db = FactDb::new();
+        let a = db.insert_id("p", &[Value::Int(1)]).unwrap().unwrap();
+        let b = db.insert_id("p", &[Value::Int(2)]).unwrap().unwrap();
+        db.insert_id("p", &[Value::Int(3)]).unwrap().unwrap();
+        db.ensure_index("p", &[0]);
+        assert!(db.tombstone(b));
+        assert!(!db.tombstone(b), "tombstoning is idempotent");
+        // Probes, counts and iteration all skip the dead row.
+        assert!(!db.contains("p", &[Value::Int(2)]));
+        assert_eq!(db.find_id("p", &[Value::Int(2)]), None);
+        assert_eq!(db.len("p"), 2);
+        assert_eq!(db.rows_of("p"), 3);
+        assert_eq!(db.total_facts(), 2);
+        assert_eq!(
+            db.facts("p"),
+            vec![vec![Value::Int(1)], vec![Value::Int(3)]]
+        );
+        // Indexed and range lookups filter the dead row out.
+        let two = db.pool().lookup(&Value::Int(2)).unwrap();
+        assert_eq!(ids(&db, "p", &[0], &[two], 0..3), Vec::<u32>::new());
+        assert_eq!(ids(&db, "p", &[], &[], 0..3), vec![0, 2]);
+        // fact_values stays physical: the dead tuple is still readable.
+        assert_eq!(db.fact_values(b), Some(("p", vec![Value::Int(2)])));
+        // Re-inserting the tuple appends a fresh row under a fresh id.
+        let b2 = db.insert_id("p", &[Value::Int(2)]).unwrap().unwrap();
+        assert_ne!(b2, b);
+        assert_eq!(fact_row(b2), 3);
+        assert_eq!(db.find_id("p", &[Value::Int(2)]), Some(b2));
+        assert_eq!(db.len("p"), 3);
+        // Batch verdicts see the live view: a dup of the live row.
+        let verdicts =
+            db.insert_batch_verdicts(&[("p".to_string(), vec![Value::Int(2)])], 1);
+        assert_eq!(verdicts, vec![Verdict::Dup]);
+        // Untouched rows keep their ids.
+        assert_eq!(db.find_id("p", &[Value::Int(1)]), Some(a));
+        // Tombstoning an unknown id is a no-op.
+        assert!(!db.tombstone(fact_id(9, 0)));
+        assert!(!db.tombstone(fact_id(fact_pred(a), 99)));
+    }
+
+    #[test]
+    fn dedup_table_growth_drops_tombstones_but_keeps_live_rows_findable() {
+        let mut db = FactDb::new();
+        let mut ids_in = Vec::new();
+        for i in 0..64i64 {
+            ids_in.push(db.insert_id("p", &[Value::Int(i)]).unwrap().unwrap());
+        }
+        for id in ids_in.iter().step_by(2) {
+            assert!(db.tombstone(*id));
+        }
+        // Force several table growths past the tombstoning.
+        for i in 64..2_000i64 {
+            db.insert_id("p", &[Value::Int(i)]).unwrap();
+        }
+        for i in 0..64i64 {
+            let alive = i % 2 == 1;
+            assert_eq!(db.contains("p", &[Value::Int(i)]), alive, "i={i}");
+        }
+        assert_eq!(db.len("p"), 2_000 - 32);
+        assert_eq!(db.rows_of("p"), 2_000);
+    }
+
+    #[test]
+    fn derived_marks_drive_tombstone_derived() {
+        let mut db = FactDb::new();
+        db.enable_provenance();
+        let edb = db.insert_id("p", &[Value::Int(1)]).unwrap().unwrap();
+        let d1 = db.insert_id("q", &[Value::Int(2)]).unwrap().unwrap();
+        let d2 = db.insert_id("p", &[Value::Int(3)]).unwrap().unwrap();
+        db.mark_derived(d1);
+        db.mark_derived(d2);
+        db.record_prov(d1, 0, &[edb]);
+        db.record_prov(d2, 1, &[d1]);
+        assert_eq!(db.prov_edges(), 2);
+        assert_eq!(db.tombstone_derived(), 2);
+        assert_eq!(db.tombstone_derived(), 0, "second wipe finds nothing");
+        assert_eq!(db.total_facts(), 1);
+        assert!(db.contains("p", &[Value::Int(1)]));
+        assert!(!db.contains("p", &[Value::Int(3)]));
+        assert!(!db.contains("q", &[Value::Int(2)]));
+        assert_eq!(db.prov_edges(), 0, "derived edges dropped with the rows");
+        // clear_prov after a wholesale wipe leaves recording enabled.
+        db.clear_prov();
+        assert!(db.provenance_enabled());
+    }
+
+    #[test]
+    fn prov_edges_iterate_and_remove() {
+        let mut db = FactDb::new();
+        db.enable_provenance();
+        let a = db.insert_id("e", &[Value::Int(1)]).unwrap().unwrap();
+        let b = db.insert_id("d", &[Value::Int(2)]).unwrap().unwrap();
+        let c = db.insert_id("d", &[Value::Int(3)]).unwrap().unwrap();
+        db.record_prov(b, 0, &[a]);
+        db.record_prov(c, 1, &[a, b]);
+        let mut edges: Vec<(FactId, Vec<FactId>)> = db
+            .prov_edges_iter()
+            .map(|(f, ps)| (f, ps.to_vec()))
+            .collect();
+        edges.sort();
+        assert_eq!(edges, vec![(b, vec![a]), (c, vec![a, b])]);
+        // Tombstoning removes the fact's edge but leaves others intact.
+        assert!(db.tombstone(b));
+        assert_eq!(db.prov_edges(), 1);
+        assert_eq!(db.prov_edge(b), None);
+        assert_eq!(db.prov_edge(c), Some((1, &[a, b][..])));
     }
 
     #[test]

@@ -29,9 +29,10 @@
 //! - division is never generated and modulo divisors are positive
 //!   constants, so expression evaluation cannot fail at runtime.
 
-use crate::ast::Program;
+use crate::ast::{Program, Term};
 use crate::engine::Engine;
 use crate::parser::parse_program;
+use kgm_common::Value;
 use kgm_runtime::rng::Rng;
 
 /// Size and shape knobs for the generator.
@@ -718,6 +719,110 @@ pub fn gen_case(rng: &mut Rng, cfg: &GenConfig) -> GenCase {
     }
 }
 
+/// One step of a fuzzed update sequence for
+/// [`crate::engine::Engine::apply_update`]: EDB facts to remove and add,
+/// applied in that order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateBatch {
+    /// Facts to insert, as `(predicate, tuple)` pairs.
+    pub inserts: Vec<(String, Vec<Value>)>,
+    /// Facts to delete. May name absent facts (a legal no-op the engine
+    /// must survive).
+    pub deletes: Vec<(String, Vec<Value>)>,
+}
+
+/// Draw `n` update batches against `case`'s extensional database.
+///
+/// Deletions target the case's own facts (tracked through a simulated live
+/// set so later batches can only hit what earlier batches left standing),
+/// with an occasional deliberate miss. Insertions reuse the per-column
+/// value pools observed in the case's facts — so new tuples actually join
+/// the existing data — and sometimes mint a fresh integer from outside the
+/// generator's domain, so genuinely-new values flow through the delta too.
+/// Only predicates with facts are ever touched: the generator never puts
+/// facts in rule heads, so these are pure EDB predicates.
+pub fn gen_updates(rng: &mut Rng, case: &GenCase, n: usize) -> Vec<UpdateBatch> {
+    let mut pools: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
+    let mut live: Vec<(String, Vec<Value>)> = Vec::new();
+    for atom in &case.program().facts {
+        let tuple: Vec<Value> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => v.clone(),
+                Term::Var(_) => unreachable!("facts are ground"),
+            })
+            .collect();
+        match pools.iter_mut().find(|(p, _)| *p == atom.predicate) {
+            Some((_, cols)) => {
+                for (col, v) in cols.iter_mut().zip(&tuple) {
+                    if !col.contains(v) {
+                        col.push(v.clone());
+                    }
+                }
+            }
+            None => pools.push((
+                atom.predicate.clone(),
+                tuple.iter().map(|v| vec![v.clone()]).collect(),
+            )),
+        }
+        let fact = (atom.predicate.clone(), tuple);
+        if !live.contains(&fact) {
+            live.push(fact);
+        }
+    }
+    let mut fresh_int = 1000i64;
+    let fresh = |n: &mut i64| {
+        *n += 1;
+        Value::Int(*n - 1)
+    };
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut batch = UpdateBatch::default();
+        for _ in 0..rng.gen_range(0..3i64) {
+            if live.is_empty() {
+                break;
+            }
+            let i = rng.gen_range(0..live.len() as i64) as usize;
+            if rng.gen_bool(0.85) {
+                batch.deletes.push(live.remove(i));
+            } else {
+                // A deliberate miss: an int column swapped for a value no
+                // fact ever held.
+                let (p, mut t) = live[i].clone();
+                if let Some(v) = t.iter_mut().find(|v| matches!(v, Value::Int(_))) {
+                    *v = fresh(&mut fresh_int);
+                    batch.deletes.push((p, t));
+                }
+            }
+        }
+        for _ in 0..rng.gen_range(0..4i64) {
+            if pools.is_empty() {
+                break;
+            }
+            let (pred, cols) = pools[rng.gen_range(0..pools.len() as i64) as usize].clone();
+            let tuple: Vec<Value> = cols
+                .iter()
+                .map(|pool| {
+                    let v = pool[rng.gen_range(0..pool.len() as i64) as usize].clone();
+                    if matches!(v, Value::Int(_)) && rng.gen_bool(0.3) {
+                        fresh(&mut fresh_int)
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            let fact = (pred, tuple);
+            if !live.contains(&fact) {
+                live.push(fact.clone());
+            }
+            batch.inserts.push(fact);
+        }
+        out.push(batch);
+    }
+    out
+}
+
 /// Shrink candidates: drop rules (later rules first — they depend on
 /// earlier heads), halve the fact set, then drop single facts. Candidates
 /// that no longer pass validation are filtered out, so the shrinker never
@@ -782,6 +887,42 @@ mod tests {
         for c in shrink_case(&case) {
             assert!(is_valid(&c), "shrink produced invalid:\n{c:?}");
         }
+    }
+
+    #[test]
+    fn update_batches_are_deterministic_and_well_typed() {
+        let cfg = GenConfig::default();
+        for seed in 0..20u64 {
+            let case = gen_case(&mut Rng::seed_from_u64(seed), &cfg);
+            let a = gen_updates(&mut Rng::seed_from_u64(seed * 31), &case, 6);
+            let b = gen_updates(&mut Rng::seed_from_u64(seed * 31), &case, 6);
+            assert_eq!(a, b, "seed {seed}: generation must be deterministic");
+            assert_eq!(a.len(), 6);
+            // Every touched predicate is one of the case's EDB predicates,
+            // at its observed arity.
+            let program = case.program();
+            for batch in &a {
+                for (pred, tuple) in batch.inserts.iter().chain(&batch.deletes) {
+                    let arity = program
+                        .facts
+                        .iter()
+                        .find(|f| f.predicate == *pred)
+                        .map(|f| f.terms.len());
+                    assert_eq!(arity, Some(tuple.len()), "{pred} in seed {seed}");
+                }
+            }
+        }
+        // Across seeds the corpus must exercise both hits and inserts.
+        let mut any_delete = false;
+        let mut any_insert = false;
+        for seed in 0..20u64 {
+            let case = gen_case(&mut Rng::seed_from_u64(seed), &cfg);
+            for b in gen_updates(&mut Rng::seed_from_u64(seed + 100), &case, 6) {
+                any_delete |= !b.deletes.is_empty();
+                any_insert |= !b.inserts.is_empty();
+            }
+        }
+        assert!(any_delete && any_insert);
     }
 
     #[test]

@@ -243,6 +243,45 @@ pub fn naive_chase_with(
     Ok(db)
 }
 
+/// From-scratch reference for [`crate::engine::Engine::apply_update`]: the
+/// naive chase over the *updated* EDB — `base` in its original insertion
+/// order, minus `deletes` (applied first, like the engine), with `inserts`
+/// appended last (where `Engine::apply_update` physically puts them). An
+/// incremental run must be isomorphic to this database.
+pub fn naive_chase_updated(
+    program: &Program,
+    base: &[(String, Vec<Value>)],
+    deletes: &[(String, Vec<Value>)],
+    inserts: &[(String, Vec<Value>)],
+    config: &OracleConfig,
+) -> Result<RowDb> {
+    fn push_to(
+        grouped: &mut Vec<(String, Vec<Vec<Value>>)>,
+        pred: &str,
+        tuple: Vec<Value>,
+    ) {
+        if let Some((_, rows)) = grouped.iter_mut().find(|(p, _)| p == pred) {
+            rows.push(tuple);
+        } else {
+            grouped.push((pred.to_string(), vec![tuple]));
+        }
+    }
+    // Per-predicate relative order is what the engine's physical row order
+    // preserves across deletions, so it is what the oracle must see.
+    let mut grouped: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
+    for (pred, tuple) in base.iter().filter(|f| !deletes.contains(f)) {
+        push_to(&mut grouped, pred, tuple.clone());
+    }
+    for (pred, tuple) in inserts {
+        push_to(&mut grouped, pred, tuple.clone());
+    }
+    let refs: Vec<(&str, Vec<Vec<Value>>)> = grouped
+        .iter()
+        .map(|(p, rows)| (p.as_str(), rows.clone()))
+        .collect();
+    naive_chase_with(program, &refs, config)
+}
+
 /// [`naive_chase_with`] recording why-provenance as it goes: returns the
 /// fixpoint database together with one `(rule, parents)` edge per derived
 /// fact (first insertion wins, parents deduplicated in first-occurrence

@@ -10,6 +10,7 @@
 //! term|<termination>|<stopped_stratum>|<stopped_iteration>|<cancel_polls>|<faults_injected>
 //! par|<shards_spawned>|<worker_candidates>|<merge_dedup_hits>|<merge_partitions>
 //! prov|<edges_recorded>|<parent_refs>
+//! upd|<inserted>|<deleted>|<overdeleted>|<rederived>|<fallbacks>
 //! stratum|<idx>|<iterations>|<derived>|<duplicates>|<nulls>|<elapsed_ms>
 //! rule|<idx>|<head>|<evals>|<delta_evals>|<bindings>|<emitted>|<elapsed_ms>
 //! ```
@@ -21,9 +22,10 @@
 //! (`{:.3}` ms).
 //!
 //! The `prov` line (why-provenance accounting, all zeroes with provenance
-//! off) was added after the format's first release; [`RunStats::from_text`]
-//! treats it as optional, so pre-provenance texts still parse — with the
-//! provenance counters defaulting to zero.
+//! off) and the `upd` line (incremental-update accounting, all zeroes for a
+//! from-scratch run) were added after the format's first release;
+//! [`RunStats::from_text`] treats each as optional, so older texts still
+//! parse — with the corresponding counters defaulting to zero.
 
 use crate::engine::{ChaseProfile, RuleProfile, RunStats, StratumProfile, Termination};
 use kgm_common::codec::{escape, unescape, CodecError};
@@ -59,6 +61,14 @@ impl RunStats {
         out.push_str(&format!(
             "prov|{}|{}\n",
             self.profile.prov_edges, self.profile.prov_parents,
+        ));
+        out.push_str(&format!(
+            "upd|{}|{}|{}|{}|{}\n",
+            self.profile.update_inserted,
+            self.profile.update_deleted,
+            self.profile.update_overdeleted,
+            self.profile.update_rederived,
+            self.profile.update_fallbacks,
         ));
         for s in &self.profile.strata {
             out.push_str(&format!(
@@ -181,6 +191,24 @@ impl RunStats {
                     profile.prov_edges = num(fields[1])?;
                     profile.prov_parents = num(fields[2])?;
                 }
+                // Also optional: texts written before incremental updates
+                // existed have no `upd` line and parse with zeroes.
+                "upd" => {
+                    if fields.len() != 6 {
+                        return Err(bad(&format!(
+                            "expected 6 fields, got {}",
+                            fields.len()
+                        )));
+                    }
+                    let num = |f: &str| -> Result<usize, CodecError> {
+                        f.parse().map_err(|_| bad(&format!("bad number {f:?}")))
+                    };
+                    profile.update_inserted = num(fields[1])?;
+                    profile.update_deleted = num(fields[2])?;
+                    profile.update_overdeleted = num(fields[3])?;
+                    profile.update_rederived = num(fields[4])?;
+                    profile.update_fallbacks = num(fields[5])?;
+                }
                 "stratum" => {
                     let n = nums(1, 7)?;
                     profile.strata.push(StratumProfile {
@@ -273,6 +301,11 @@ mod tests {
                 faults_injected: 0,
                 prov_edges: 42,
                 prov_parents: 97,
+                update_inserted: 5,
+                update_deleted: 2,
+                update_overdeleted: 9,
+                update_rederived: 4,
+                update_fallbacks: 1,
             },
         }
     }
@@ -290,11 +323,12 @@ mod tests {
         let text = sample().to_text();
         assert!(
             text.starts_with(
-                "run|2|5|42|3|7|1.500\nterm|complete|1|2|6|0\npar|12|90|11|4\nprov|42|97\n"
+                "run|2|5|42|3|7|1.500\nterm|complete|1|2|6|0\npar|12|90|11|4\n\
+                 prov|42|97\nupd|5|2|9|4|1\n"
             ),
             "{text}"
         );
-        assert_eq!(text.lines().count(), 7);
+        assert_eq!(text.lines().count(), 8);
         assert!(
             text.contains("rule|0|path,odd\\pname|4|3|100|49|0.750"),
             "head with a pipe must be escaped: {text}"
@@ -315,6 +349,11 @@ mod tests {
         let mut expected = sample();
         expected.profile.prov_edges = 0;
         expected.profile.prov_parents = 0;
+        expected.profile.update_inserted = 0;
+        expected.profile.update_deleted = 0;
+        expected.profile.update_overdeleted = 0;
+        expected.profile.update_rederived = 0;
+        expected.profile.update_fallbacks = 0;
         assert_eq!(parsed, expected);
         // And a malformed prov record still errors.
         assert!(
@@ -324,6 +363,36 @@ mod tests {
         assert!(
             RunStats::from_text("run|1|1|1|1|1|1.0\nprov|a|b\n").is_err(),
             "non-numeric prov record"
+        );
+    }
+
+    #[test]
+    fn pre_update_texts_still_parse_with_zero_update_counters() {
+        // Verbatim output of `to_text` from before the `upd` record existed
+        // (provenance release vintage) — must keep parsing forever.
+        let fixture = "run|2|5|42|3|7|1.500\n\
+                       term|complete|1|2|6|0\n\
+                       par|12|90|11|4\n\
+                       prov|42|97\n\
+                       stratum|0|3|40|7|3|1.250\n\
+                       stratum|1|2|2|0|0|0.125\n\
+                       rule|0|path,odd\\pname|4|3|100|49|0.750\n";
+        let parsed = RunStats::from_text(fixture).unwrap();
+        let mut expected = sample();
+        expected.profile.update_inserted = 0;
+        expected.profile.update_deleted = 0;
+        expected.profile.update_overdeleted = 0;
+        expected.profile.update_rederived = 0;
+        expected.profile.update_fallbacks = 0;
+        assert_eq!(parsed, expected);
+        // Malformed upd records still error.
+        assert!(
+            RunStats::from_text("run|1|1|1|1|1|1.0\nupd|1|2\n").is_err(),
+            "short upd record"
+        );
+        assert!(
+            RunStats::from_text("run|1|1|1|1|1|1.0\nupd|a|b|c|d|e\n").is_err(),
+            "non-numeric upd record"
         );
     }
 

@@ -77,6 +77,47 @@ fn approx_bytes_tracks_measured_allocation_within_2x() {
     );
 }
 
+/// Same pin with provenance recording on: the `ProvStore` arena, edge
+/// index, *and its parent-dedup scratch set* (once omitted from the
+/// estimate — the regression this test pins) must all be visible to the
+/// governor's memory budget.
+#[test]
+fn approx_bytes_tracks_allocation_with_provenance_on() {
+    let program = parse_program(
+        "edge(X,Y) -> path(X,Y). path(X,Y), edge(Y,Z) -> path(X,Z).",
+    )
+    .unwrap();
+    let engine = Engine::with_config(
+        program,
+        EngineConfig {
+            threads: 1,
+            deadline_ms: None,
+            provenance: true,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let edges: Vec<Vec<Value>> = (0..800i64)
+        .map(|i| vec![Value::Int(i), Value::Int(i + 1)])
+        .collect();
+
+    let before = live();
+    let mut db = FactDb::new();
+    db.add_facts("edge", edges).unwrap();
+    let stats = engine.run(&mut db).unwrap();
+    let measured = live().saturating_sub(before);
+    let approx = db.approx_bytes();
+    assert!(stats.profile.prov_edges > 0, "provenance actually recorded");
+    assert!(
+        approx * 2 >= measured,
+        "approx_bytes undercounts with provenance: approx {approx}, measured {measured}"
+    );
+    assert!(
+        approx <= measured * 2,
+        "approx_bytes overcounts with provenance: approx {approx}, measured {measured}"
+    );
+}
+
 /// Same pin after a real chase run, which additionally builds join indexes
 /// and dedup state through the engine's own insert path.
 #[test]

@@ -9,6 +9,10 @@
 # 4. Why-provenance gates: provenance-on output bit-identical to
 #    provenance-off at 1 and 4 threads, derivation trees sound + grounded
 #    against the naive oracle, recording overhead under 2x.
+# 5. Incremental-maintenance gates: Engine::apply_update matches the
+#    from-scratch chase at 1 and 4 threads (fixed smoke plus fuzzed
+#    differential runs), and a single update stays under 10% of a full
+#    re-materialization in the refreshed bench rows.
 #
 # Usage: scripts/ci.sh [--skip-tests]
 #
@@ -140,6 +144,22 @@ KGM_PROP_SEED=20220046 KGM_PROP_CASES=48 cargo test --release --offline -q \
     -p kgm-vadalog --test explanations >/dev/null
 echo "ok: provenance-on facts bit-identical at 1 and 4 threads; trees sound + grounded"
 
+echo "== incremental maintenance smoke =="
+# A fixed incorporation + shareholding retraction applied through
+# Engine::apply_update must reproduce the from-scratch control relation
+# (order-independent digest) at 1 and 4 worker threads without taking the
+# rebuild fallback — paper-harness exits non-zero otherwise. A fixed-seed
+# run of the incremental differential suite then checks the full contract:
+# fuzzed update sequences, verified against the naive oracle after every
+# batch, with the provenance-off variant forced through the rebuild path.
+"$harness" update 2000
+for threads in 1 4; do
+    KGM_PROP_SEED=20220046 KGM_PROP_CASES=48 KGM_THREADS=$threads \
+        cargo test --release --offline -q -p kgm-vadalog \
+        --test incremental >/dev/null
+done
+echo "ok: incremental updates match from-scratch at 1 and 4 threads"
+
 echo "== observability smoke =="
 rm -f BENCH_chase.json BENCH_control_pipeline.json \
     target/paper-artifacts/run_report_e7.json
@@ -182,6 +202,32 @@ if ! awk -v r="$overhead" 'BEGIN { exit !(r < 2.0) }'; then
     exit 1
 fi
 echo "ok: provenance-on chase is ${overhead}x the plain chase (< 2x)"
+
+# Incremental-maintenance gate: the refresh also wrote a full provenance-on
+# materialization and a single incorporation update against the same
+# registry; the update row must stay under 10% of the full-chase row, or
+# incremental maintenance has stopped paying for itself.
+ratio=$(awk '
+    /"group": "chase\/control_vadalog_full",/ {
+        split($0, a, /"min_ns": /); split(a[2], b, ","); full = b[1]
+    }
+    /"group": "chase\/control_vadalog_update",/ {
+        split($0, a, /"min_ns": /); split(a[2], b, ","); upd = b[1]
+    }
+    END {
+        if (full + 0 == 0 || upd + 0 == 0) { print "missing"; exit }
+        printf "%.4f", upd / full
+    }
+' BENCH_chase.json)
+if [ "$ratio" = "missing" ]; then
+    echo "ERROR: BENCH_chase.json lacks the control_vadalog_full/control_vadalog_update rows" >&2
+    exit 1
+fi
+if ! awk -v r="$ratio" 'BEGIN { exit !(r < 0.10) }'; then
+    echo "ERROR: incremental update costs ${ratio}x of a full chase (>= 0.10)" >&2
+    exit 1
+fi
+echo "ok: a single update costs ${ratio}x of a full re-materialization (< 0.10)"
 
 if [ "${KGM_SCALE_SMOKE:-0}" = "1" ]; then
     echo "== registry-scale smoke (KGM_SCALE_SMOKE=1) =="
