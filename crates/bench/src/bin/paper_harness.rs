@@ -56,6 +56,16 @@
 //!                                     # control relation at 1 and 4 worker
 //!                                     # threads without taking the rebuild
 //!                                     # fallback (default 2000 nodes)
+//! paper-harness serve-bench [nodes] [batch]
+//!                                     # epoch-serving throughput: N reader
+//!                                     # threads (1/4/8) answering mixed
+//!                                     # point/aggregate/path/cypher batches
+//!                                     # against pinned epochs while a
+//!                                     # writer thread streams incorporation
+//!                                     # updates; refreshes BENCH_serving.json
+//!                                     # and prints queries/sec per width
+//!                                     # (default 2000 nodes, 4096-query
+//!                                     # batches)
 //! ```
 //!
 //! The `--profile` bench refresh additionally honours `KGM_BENCH_NODES`:
@@ -74,7 +84,9 @@ use kgm_finance::control::{
     CONTROL_VADALOG,
 };
 use kgm_runtime::telemetry;
-use kgm_vadalog::{explain, parse_program, render, Engine, EngineConfig, FactDb, Update};
+use kgm_vadalog::{
+    explain, parse_program, render, Engine, EngineConfig, FactDb, ServingLayer, Update,
+};
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -602,6 +614,203 @@ fn run_update_smoke(nodes: usize) -> Result<ExitCode> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Build the mixed read workload for `serve-bench` from the currently
+/// published epoch: mostly point lookups over real `own` rows (every
+/// fourth one a deliberate miss), a spread of aggregates, and an
+/// occasional path / Cypher query (the expensive tail — each forces the
+/// per-epoch graph projection, so its cost recurs with every published
+/// epoch a reader lands on).
+fn serve_query_mix(layer: &ServingLayer, batch: usize) -> Vec<String> {
+    let pin = layer.pin();
+    let own: Vec<Vec<Value>> = pin.rows("own").to_vec();
+    assert!(!own.is_empty(), "serve-bench registry has no shareholdings");
+    let lit = |v: &Value| -> String {
+        match v {
+            Value::Oid(o) => format!("#{}", o.payload()),
+            Value::Float(f) => format!("{f:?}"),
+            Value::Int(i) => i.to_string(),
+            other => panic!("unexpected own value {other:?}"),
+        }
+    };
+    let aggregates = [
+        "count control".to_string(),
+        "count own".to_string(),
+        "sum own 2".to_string(),
+        "max own 2".to_string(),
+    ];
+    let mut queries = Vec::with_capacity(batch);
+    let mut i = 0usize;
+    while queries.len() < batch {
+        let slot = queries.len() % 256;
+        let q = match slot {
+            // ~0.8% of the mix is the graph-projection tail.
+            0 => "path own".to_string(),
+            1 => "cypher (c:company) return c".to_string(),
+            // ~12% aggregates.
+            s if s % 8 == 2 => aggregates[(s / 8) % aggregates.len()].clone(),
+            // The rest: point lookups, every fourth a guaranteed miss (no
+            // shareholding weight is ever 9.9 in the generator).
+            s => {
+                i += 1;
+                let row = &own[i % own.len()];
+                let w = if s % 4 == 3 {
+                    "9.9".to_string()
+                } else {
+                    lit(&row[2])
+                };
+                format!("point own({}, {}, {w})", lit(&row[0]), lit(&row[1]))
+            }
+        };
+        queries.push(q);
+    }
+    queries
+}
+
+/// Run one `serve-bench` batch: split `queries` across `readers` scoped
+/// threads, each pinning the current epoch and re-pinning every 256
+/// queries (so a long batch observes the live update stream). Returns the
+/// number of result rows touched, as a do-not-optimize sink.
+fn serve_run_batch(layer: &ServingLayer, queries: &[String], readers: usize) -> usize {
+    std::thread::scope(|s| {
+        let chunk = queries.len().div_ceil(readers);
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|slice| {
+                s.spawn(move || {
+                    let mut rows = 0usize;
+                    let mut pin = layer.pin();
+                    for (qi, q) in slice.iter().enumerate() {
+                        if qi % 256 == 255 {
+                            pin = layer.pin();
+                        }
+                        rows += pin.query(q).expect("serve-bench query").rows.len();
+                    }
+                    rows
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve-bench reader panicked"))
+            .sum()
+    })
+}
+
+/// `serve-bench [nodes] [batch]` — throughput of the epoch serving layer
+/// under a live writer: materialize the seeded registry once, keep a
+/// background thread streaming incorporation updates (each publishing a
+/// fresh epoch via `apply_update_serving`), and benchmark mixed
+/// point/aggregate/path/cypher batches at 1, 4 and 8 reader threads.
+/// Refreshes the repo-root `BENCH_serving.json` (groups
+/// `serving/mixed_t{1,4,8}`, id = batch size, so queries/sec is
+/// `batch / min_ns * 1e9`) and prints the derived queries/sec per width.
+fn run_serve_bench(nodes: usize, batch: usize) -> Result<ExitCode> {
+    let g = bench_graph(nodes);
+    let (engine, mut db, stats) = control_vadalog_prov(&g, 1)?;
+    let owner = db
+        .facts_iter("company")
+        .next()
+        .ok_or_else(|| KgmError::Internal("serve-bench: registry has no companies".into()))?[0]
+        .clone();
+    let layer = ServingLayer::new();
+    layer.publish(&db, stats.termination);
+    println!(
+        "serve-bench: {nodes} nodes, {} facts materialized, {}-query batches",
+        layer.pin().fact_count(),
+        batch
+    );
+    let queries = serve_query_mix(&layer, batch);
+
+    // The live update stream: a writer thread incorporates one distinct
+    // company per iteration (never a dedup no-op) and publishes each result
+    // as a new epoch, for the whole duration of the benchmark.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let layer = layer.clone();
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || -> Result<u64> {
+            let mut serial = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                serial += 1;
+                let newco = Value::Oid(Oid::new(OidSpace::Ground, (1 << 40) + serial));
+                engine.apply_update_serving(
+                    &mut db,
+                    Update {
+                        inserts: vec![
+                            ("company".to_string(), vec![newco.clone()]),
+                            (
+                                "own".to_string(),
+                                vec![owner.clone(), newco, Value::Float(0.6)],
+                            ),
+                        ],
+                        deletes: Vec::new(),
+                    },
+                    &layer,
+                )?;
+            }
+            Ok(serial)
+        })
+    };
+
+    let mut criterion = kgm_runtime::bench::Criterion::new();
+    for readers in [1usize, 4, 8] {
+        let mut group = criterion.benchmark_group(format!("serving/mixed_t{readers}"));
+        group.sample_size(5);
+        group.bench_function(
+            kgm_runtime::bench::BenchmarkId::from_parameter(batch),
+            |b| b.iter(|| serve_run_batch(&layer, &queries, readers)),
+        );
+        group.finish();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let updates = writer.join().expect("serve-bench writer panicked")?;
+    let final_epoch = layer.current_epoch();
+    println!(
+        "serve-bench: writer applied {updates} updates ({final_epoch} epochs published)"
+    );
+    if updates == 0 {
+        eprintln!("serve-bench: update stream never ran — readers were not concurrent");
+        return Ok(ExitCode::FAILURE);
+    }
+
+    let path = match criterion.write_json("serving") {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("serve-bench: serving report not written: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    println!("  [bench] {}", path.display());
+    // Derive queries/sec per reader width from the rows just written.
+    let report = fs::read_to_string(&path).unwrap_or_default();
+    for line in report.lines() {
+        let Some(gpos) = line.find("\"group\": \"serving/") else {
+            continue;
+        };
+        let group_name: String = line[gpos + 10..]
+            .chars()
+            .take_while(|&c| c != '"')
+            .collect();
+        let Some(mpos) = line.find("\"min_ns\": ") else {
+            continue;
+        };
+        let min_ns: f64 = line[mpos + 10..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect::<String>()
+            .parse()
+            .unwrap_or(0.0);
+        if min_ns > 0.0 {
+            println!(
+                "  {group_name}: {:.0} queries/sec (batch of {batch} in {:.2} ms)",
+                batch as f64 * 1e9 / min_ns,
+                min_ns / 1e6
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Assemble the machine-readable run report: captured span trees plus the
 /// global metrics snapshot.
 fn run_report_json(cmd: &str, spans: &[telemetry::SpanNode]) -> String {
@@ -689,6 +898,11 @@ fn run_cli() -> Result<ExitCode> {
     if cmd == "update" {
         let nodes = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
         return run_update_smoke(nodes);
+    }
+    if cmd == "serve-bench" {
+        let nodes = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+        let batch = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4_096);
+        return run_serve_bench(nodes, batch);
     }
     if trace {
         telemetry::force_trace(true);

@@ -36,5 +36,5 @@ pub mod telemetry;
 
 pub use par::{default_threads, map_shards, par_map};
 pub use rng::{split_mix64, Rng, SampleUniform};
-pub use sync::{CancelToken, Mutex, RwLock};
+pub use sync::{CancelToken, Mutex, Published, RwLock};
 pub use telemetry::{Collector, MetricsSnapshot, SpanGuard, SpanNode, Verbosity};

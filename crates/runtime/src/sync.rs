@@ -57,6 +57,54 @@ impl<T> RwLock<T> {
     }
 }
 
+/// A read-mostly publication cell: one writer replaces the current value,
+/// many readers grab a cheap shared handle to it.
+///
+/// This is the epoch-publication primitive behind the serving layer: the
+/// writer calls [`Published::publish`] after each materialization step, and
+/// every reader's [`Published::load`] returns an `Arc` of *some* published
+/// value — never a torn or in-progress one, because the swap replaces the
+/// whole `Arc` atomically under the lock. Readers hold the returned handle
+/// for as long as they like; the value's memory is reclaimed when the last
+/// handle (including the cell's own, after a later `publish`) drops.
+///
+/// The lock is held only for the duration of an `Arc` clone or swap (no
+/// user code runs under it), so readers never block the writer for longer
+/// than a pointer exchange and contention stays negligible even when many
+/// reader threads re-`load` frequently.
+#[derive(Debug)]
+pub struct Published<T>(RwLock<Arc<T>>);
+
+impl<T> Published<T> {
+    /// A cell currently publishing `initial`.
+    pub fn new(initial: T) -> Self {
+        Published(RwLock::new(Arc::new(initial)))
+    }
+
+    /// Replace the published value; readers loading from now on see `value`.
+    /// Returns the handle for the newly published value.
+    pub fn publish(&self, value: T) -> Arc<T> {
+        self.publish_arc(Arc::new(value))
+    }
+
+    /// [`Published::publish`] for a value the caller already wrapped.
+    pub fn publish_arc(&self, value: Arc<T>) -> Arc<T> {
+        *self.0.write() = Arc::clone(&value);
+        value
+    }
+
+    /// A shared handle to the currently published value.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.0.read())
+    }
+}
+
+impl<T: Default> Default for Published<T> {
+    fn default() -> Self {
+        Published::new(T::default())
+    }
+}
+
 /// A shared cooperative-cancellation flag.
 ///
 /// Clones observe the same flag (it is an `Arc` internally), so a caller
@@ -136,6 +184,42 @@ mod tests {
     fn into_inner_unwraps() {
         assert_eq!(Mutex::new(3).into_inner(), 3);
         assert_eq!(RwLock::new(4).into_inner(), 4);
+    }
+
+    #[test]
+    fn published_swaps_whole_values_and_reclaims_old_ones() {
+        let cell = Published::new(vec![1u64]);
+        let pinned = cell.load();
+        assert_eq!(*pinned, vec![1]);
+        let fresh = cell.publish(vec![2, 3]);
+        assert_eq!(*fresh, vec![2, 3]);
+        // The pinned handle still sees the epoch it loaded…
+        assert_eq!(*pinned, vec![1]);
+        assert_eq!(*cell.load(), vec![2, 3]);
+        // …and dropping it releases the last reference to the old value.
+        let weak = Arc::downgrade(&pinned);
+        drop(pinned);
+        assert!(weak.upgrade().is_none(), "unpinned epoch must be reclaimed");
+    }
+
+    #[test]
+    fn published_loads_are_consistent_under_concurrent_publishes() {
+        let cell = Arc::new(Published::new((0u64, 0u64)));
+        let writer = {
+            let cell = cell.clone();
+            std::thread::spawn(move || {
+                for i in 1..=1000u64 {
+                    cell.publish((i, i * 2));
+                }
+            })
+        };
+        // Every load must observe some published pair, never a torn one.
+        for _ in 0..1000 {
+            let v = cell.load();
+            assert_eq!(v.1, v.0 * 2, "torn read: {v:?}");
+        }
+        writer.join().unwrap();
+        assert_eq!(*cell.load(), (1000, 2000));
     }
 
     #[test]

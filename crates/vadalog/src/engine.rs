@@ -677,6 +677,40 @@ impl Engine {
         self.run_inner(db, &root_span, None, None)
     }
 
+    /// [`Engine::run`], then publish the result as the next serving epoch.
+    ///
+    /// The epoch carries the run's [`Termination`], so readers pinning a
+    /// budget-truncated (graceful-mode) materialization see `complete ==
+    /// false` in every [`crate::serving::QueryResponse`] rather than
+    /// silently being served a prefix as the full fixpoint. Nothing is
+    /// published on `Err` (strict-mode budget errors included) — the layer
+    /// keeps serving the previous epoch.
+    pub fn run_serving(
+        &self,
+        db: &mut FactDb,
+        serving: &crate::serving::ServingLayer,
+    ) -> Result<RunStats> {
+        let stats = self.run(db)?;
+        serving.publish(db, stats.termination);
+        Ok(stats)
+    }
+
+    /// [`Engine::apply_update`], then publish the updated database as the
+    /// next serving epoch (stamped with the update run's [`Termination`],
+    /// same contract as [`Engine::run_serving`]). Readers holding pins keep
+    /// their pre-update epoch; new pins see the update applied in full —
+    /// never a half-applied DRed deletion.
+    pub fn apply_update_serving(
+        &self,
+        db: &mut FactDb,
+        update: Update,
+        serving: &crate::serving::ServingLayer,
+    ) -> Result<RunStats> {
+        let stats = self.apply_update(db, update)?;
+        serving.publish(db, stats.termination);
+        Ok(stats)
+    }
+
     /// The chase proper, shared by [`Engine::run`] (fresh evaluation) and
     /// [`Engine::apply_update`] (resumed evaluation).
     ///

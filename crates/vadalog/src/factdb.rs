@@ -674,6 +674,33 @@ impl FactDb {
             })
     }
 
+    /// One-pass extraction of the database's *logical* contents for epoch
+    /// publication: every predicate (sorted, so snapshot construction is
+    /// deterministic) with its arity and live rows in physical insertion
+    /// order, tombstoned rows skipped. This is the freeze point of the
+    /// serving layer's publish step — the returned rows own their values,
+    /// so a snapshot built from them is immune to every later mutation of
+    /// this store (inserts, tombstones, provenance growth, index builds).
+    pub fn snapshot_rows(&self) -> Vec<(String, usize, Vec<Vec<Value>>)> {
+        let mut out: Vec<(String, usize, Vec<Vec<Value>>)> = Vec::with_capacity(self.rels.len());
+        for pred in self.predicates() {
+            let rel = &self.rels[&pred];
+            let mut rows = Vec::with_capacity(rel.live());
+            for row in 0..rel.rows() {
+                if rel.is_dead(row) {
+                    continue;
+                }
+                rows.push(
+                    (0..rel.arity)
+                        .map(|c| self.pool.get(rel.id_at(row, c)).clone())
+                        .collect(),
+                );
+            }
+            out.push((pred, rel.arity, rows));
+        }
+        out
+    }
+
     /// Number of live facts for `predicate`.
     pub fn len(&self, predicate: &str) -> usize {
         self.rels.get(predicate).map(Relation::live).unwrap_or(0)

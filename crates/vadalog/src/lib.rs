@@ -53,6 +53,7 @@ pub mod genprog;
 pub mod oracle;
 pub mod parser;
 pub mod printer;
+pub mod serving;
 pub mod stats;
 
 pub use analysis::{ProgramAnalysis, Stratification};
@@ -68,9 +69,11 @@ pub use explain::{explain, render, DerivationTree};
 pub use factdb::{FactId, ProvStore};
 pub use genprog::{GenCase, GenConfig, UpdateBatch};
 pub use oracle::{
-    canonical_diff, canonical_diff_oracle, canonical_facts, canonical_facts_rows,
+    canonical_diff, canonical_diff_oracle, canonical_fact_lines, canonical_facts,
+    canonical_facts_rows,
     isomorphic, naive_chase, naive_chase_prov, naive_chase_updated, OracleConfig,
     RowDb,
 };
 pub use parser::parse_program;
 pub use printer::{rule_to_source, to_source};
+pub use serving::{EpochPin, EpochSnapshot, QueryResponse, ServingLayer};

@@ -1007,6 +1007,15 @@ pub fn canonical_facts(db: &FactDb) -> Vec<String> {
     canonical_lines(facts)
 }
 
+/// [`canonical_facts`] for an arbitrary flat fact dump — the form the
+/// serving consistency suite uses to compare a pinned
+/// [`crate::serving::EpochSnapshot`] (via
+/// [`crate::serving::EpochSnapshot::fact_dump`]) against an oracle run on
+/// the same logical epoch.
+pub fn canonical_fact_lines(facts: Vec<(String, Vec<Value>)>) -> Vec<String> {
+    canonical_lines(facts)
+}
+
 /// [`canonical_facts`] for the oracle's row-oriented store.
 pub fn canonical_facts_rows(db: &RowDb) -> Vec<String> {
     let mut facts: Vec<(String, Vec<Value>)> = Vec::new();
